@@ -1,0 +1,51 @@
+//! Crypto micro-benchmarks: the per-message costs that block batching
+//! amortizes (§III-A).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use parblock_crypto::{hmac_sha256, merkle_root, sha256, KeyRegistry, SignerId};
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 16 * 1024] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {
+            b.iter(|| sha256(d));
+        });
+    }
+    group.finish();
+}
+
+fn bench_hmac_sign_verify(c: &mut Criterion) {
+    let registry = KeyRegistry::deterministic(4);
+    let message = vec![0x5au8; 256];
+    c.bench_function("hmac_sha256_256B", |b| {
+        b.iter(|| hmac_sha256(b"key", &message));
+    });
+    c.bench_function("sign_256B", |b| {
+        b.iter(|| registry.sign(SignerId(1), &message));
+    });
+    let sig = registry.sign(SignerId(1), &message);
+    c.bench_function("verify_256B", |b| {
+        b.iter(|| registry.verify(SignerId(1), &message, &sig));
+    });
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merkle_root");
+    for leaves in [16usize, 200, 1000] {
+        let digests: Vec<_> = (0..leaves).map(|i| sha256(&[i as u8])).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(leaves), &digests, |b, d| {
+            b.iter(|| merkle_root(d));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_sha256, bench_hmac_sign_verify, bench_merkle
+}
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Micro-benchmarks of dependency-graph construction — the cost behind
+//! the Fig 5 throughput rolloff (graph generation grows with block size)
+//! and the single- vs multi-version ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use parblock_depgraph::{DependencyGraph, DependencyMode, ExecutionLayers};
+use parblock_types::{Block, BlockNumber, Hash32};
+use parblock_workload::{WorkloadConfig, WorkloadGen};
+
+fn block_of(size: usize, contention: f64) -> Block {
+    let mut gen = WorkloadGen::new(WorkloadConfig {
+        contention,
+        block_size: size,
+        ..WorkloadConfig::default()
+    });
+    Block::new(BlockNumber(1), Hash32::ZERO, gen.window())
+}
+
+fn bench_build_by_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("depgraph_build_by_block_size");
+    for size in [10usize, 100, 200, 500, 1000] {
+        let block = block_of(size, 0.2);
+        group.bench_with_input(BenchmarkId::new("full", size), &block, |b, blk| {
+            b.iter(|| DependencyGraph::build(blk, DependencyMode::Full));
+        });
+        group.bench_with_input(BenchmarkId::new("reduced", size), &block, |b, blk| {
+            b.iter(|| DependencyGraph::build(blk, DependencyMode::Reduced));
+        });
+    }
+    group.finish();
+}
+
+fn bench_build_by_contention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("depgraph_build_by_contention");
+    for pct in [0u32, 20, 80, 100] {
+        let block = block_of(200, f64::from(pct) / 100.0);
+        group.bench_with_input(BenchmarkId::new("reduced", pct), &block, |b, blk| {
+            b.iter(|| DependencyGraph::build(blk, DependencyMode::Reduced));
+        });
+        group.bench_with_input(BenchmarkId::new("multi_version", pct), &block, |b, blk| {
+            b.iter(|| DependencyGraph::build(blk, DependencyMode::MultiVersion));
+        });
+    }
+    group.finish();
+}
+
+fn bench_layers(c: &mut Criterion) {
+    let block = block_of(200, 0.8);
+    let graph = DependencyGraph::build(&block, DependencyMode::Reduced);
+    c.bench_function("execution_layers_200tx", |b| {
+        b.iter(|| ExecutionLayers::compute(&graph));
+    });
+}
+
+fn bench_op_graph(c: &mut Criterion) {
+    use parblock_depgraph::OpGraph;
+    let block = block_of(200, 0.8);
+    c.bench_function("op_graph_build_200tx", |b| {
+        b.iter(|| OpGraph::build(&block));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_build_by_size, bench_build_by_contention, bench_layers, bench_op_graph
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! End-to-end system benchmarks: one short run per paradigm at a
+//! moderate load, confirming the OXII > XOV > OX ordering that every
+//! figure builds on. The full figure sweeps live in the `repro` binary
+//! (Criterion's repeated sampling is too expensive for multi-second
+//! cluster runs).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use parblockchain::{run, ClusterSpec, LoadSpec, SystemKind};
+
+fn bench_systems(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_600ms_run");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(12));
+    for system in [SystemKind::Ox, SystemKind::Xov, SystemKind::Oxii] {
+        for contention in [0u32, 80] {
+            let mut spec = ClusterSpec::new(system);
+            spec.block_cut = parblock_types::BlockCutConfig::with_max_txns(50);
+            spec.workload.contention = f64::from(contention) / 100.0;
+            let load = LoadSpec {
+                rate_tps: 1_000.0,
+                duration: Duration::from_millis(400),
+                drain: Duration::from_millis(200),
+            };
+            group.bench_with_input(
+                BenchmarkId::new(system.to_string(), contention),
+                &(spec, load),
+                |b, (spec, load)| {
+                    b.iter(|| {
+                        let report = run(spec, load);
+                        assert!(report.committed > 0);
+                        report.committed
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_systems);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! `repro` — regenerates the tables/figures of the ParBlockchain
+//! evaluation (§V).
+//!
+//! ```sh
+//! repro fig5                 # Fig 5(a)+(b): block-size sweep
+//! repro fig6 --contention 20 # Fig 6: one contention level (0|20|80|100)
+//! repro fig6                 # Fig 6(a)-(d): all four levels
+//! repro fig7 --move clients  # Fig 7: one moved group
+//! repro fig7                 # Fig 7(a)-(d): all four groups
+//! repro ablation-commit      # Algorithm 2 vs per-tx commit messages
+//! repro ablation-mv          # single- vs multi-version graphs
+//! repro all                  # everything
+//! repro all --full           # everything, longer measurement points
+//! ```
+//!
+//! Results print to stdout and are written as CSV under `bench_results/`.
+
+use parblock_bench::{
+    ablation_commit_batching, ablation_mv_graph, fig5_block_size, fig6_contention, fig7_geo,
+    ExperimentScale, Table,
+};
+use parblockchain::MovedGroup;
+
+fn emit(name: &str, table: &Table) {
+    println!("== {name} ==");
+    println!("{}", table.render());
+    let path = format!("bench_results/{name}.csv");
+    match table.write_csv(&path) {
+        Ok(()) => println!("(csv written to {path})\n"),
+        Err(e) => eprintln!("(csv write failed: {e})\n"),
+    }
+}
+
+fn run_fig5(scale: ExperimentScale) {
+    emit("fig5_block_size", &fig5_block_size(scale));
+}
+
+fn run_fig6(level: Option<u32>, scale: ExperimentScale) {
+    let levels: Vec<u32> = match level {
+        Some(l) => vec![l],
+        None => vec![0, 20, 80, 100],
+    };
+    for l in levels {
+        let table = fig6_contention(f64::from(l) / 100.0, scale);
+        emit(&format!("fig6_contention_{l}"), &table);
+    }
+}
+
+fn run_fig7(moved: Option<MovedGroup>, scale: ExperimentScale) {
+    let groups = match moved {
+        Some(g) => vec![g],
+        None => vec![
+            MovedGroup::Clients,
+            MovedGroup::Orderers,
+            MovedGroup::Executors,
+            MovedGroup::NonExecutors,
+        ],
+    };
+    for group in groups {
+        let name = match group {
+            MovedGroup::Clients => "fig7a_clients",
+            MovedGroup::Orderers => "fig7b_orderers",
+            MovedGroup::Executors => "fig7c_executors",
+            MovedGroup::NonExecutors => "fig7d_nonexecutors",
+        };
+        emit(name, &fig7_geo(group, scale));
+    }
+}
+
+fn parse_move(s: &str) -> Option<MovedGroup> {
+    match s {
+        "clients" => Some(MovedGroup::Clients),
+        "orderers" => Some(MovedGroup::Orderers),
+        "executors" => Some(MovedGroup::Executors),
+        "nonexecutors" | "non-executors" => Some(MovedGroup::NonExecutors),
+        _ => None,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--full") {
+        ExperimentScale::Full
+    } else {
+        ExperimentScale::Quick
+    };
+    let arg_value = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let command = args.first().map(String::as_str).unwrap_or("all");
+    match command {
+        "fig5" => run_fig5(scale),
+        "fig6" => {
+            let level = arg_value("--contention").and_then(|v| v.parse().ok());
+            run_fig6(level, scale);
+        }
+        "fig7" => {
+            let moved = arg_value("--move").and_then(|v| parse_move(&v));
+            run_fig7(moved, scale);
+        }
+        "ablation-commit" => emit("ablation_commit_batching", &ablation_commit_batching(scale)),
+        "ablation-mv" => emit("ablation_mv_graph", &ablation_mv_graph()),
+        "all" => {
+            run_fig5(scale);
+            run_fig6(None, scale);
+            run_fig7(None, scale);
+            emit("ablation_commit_batching", &ablation_commit_batching(scale));
+            emit("ablation_mv_graph", &ablation_mv_graph());
+        }
+        other => {
+            eprintln!("unknown command: {other}");
+            eprintln!("usage: repro [fig5|fig6|fig7|ablation-commit|ablation-mv|all] [--contention N] [--move GROUP] [--full]");
+            std::process::exit(2);
+        }
+    }
+}

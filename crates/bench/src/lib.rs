@@ -1,0 +1,20 @@
+//! Experiment runners regenerating every figure of the ParBlockchain
+//! evaluation (§V). The `repro` binary is a thin CLI over this library;
+//! the Criterion benches cover the micro-level ablations.
+//!
+//! Absolute numbers differ from the paper's EC2 cluster (this is a
+//! single-host simulation with timed-wait cost models — see DESIGN.md
+//! §3); the *shapes* are the reproduction target and are recorded in
+//! EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::{
+    ablation_commit_batching, ablation_mv_graph, fig5_block_size, fig6_contention, fig7_geo,
+    measure_point, peak_search, ExperimentScale, Point,
+};
+pub use table::Table;

@@ -1,0 +1,253 @@
+//! The application registry: Σ : A → 2^E (agents per application),
+//! installed contracts, and client access control.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use parblock_types::{AppId, ClientId, NodeId, TypeError};
+
+use crate::traits::SmartContract;
+
+/// Per-application deployment record.
+#[derive(Clone)]
+struct AppEntry {
+    contract: Arc<dyn SmartContract>,
+    agents: BTreeSet<NodeId>,
+    /// `None` = every client allowed (the common benchmark setting);
+    /// `Some(set)` = only listed clients.
+    allowed_clients: Option<BTreeSet<ClientId>>,
+}
+
+/// The shared deployment map: which contract implements each application,
+/// which executor peers are its agents, and which clients may use it.
+///
+/// Orderers consult it for access control and the NEWBLOCK app set;
+/// executors consult it to decide which transactions they execute.
+/// "Every peer in the blockchain knows the agents of each application"
+/// (§III) — so a single registry value is cloned into every node.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use parblock_contracts::{AccountingContract, AppRegistry};
+/// use parblock_types::{AppId, NodeId};
+///
+/// let mut registry = AppRegistry::new();
+/// registry.deploy(Arc::new(AccountingContract::new(AppId(0))), [NodeId(4), NodeId(5)]);
+/// assert!(registry.is_agent(NodeId(4), AppId(0)));
+/// assert!(!registry.is_agent(NodeId(6), AppId(0)));
+/// ```
+#[derive(Clone, Default)]
+pub struct AppRegistry {
+    apps: BTreeMap<AppId, AppEntry>,
+}
+
+impl AppRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deploys `contract` with the given agent set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the agent set is empty — Σ maps to *non-empty* subsets of
+    /// executors by definition (§III).
+    pub fn deploy<I: IntoIterator<Item = NodeId>>(
+        &mut self,
+        contract: Arc<dyn SmartContract>,
+        agents: I,
+    ) {
+        let agents: BTreeSet<NodeId> = agents.into_iter().collect();
+        assert!(
+            !agents.is_empty(),
+            "Σ({}) must be non-empty (§III)",
+            contract.app()
+        );
+        self.apps.insert(
+            contract.app(),
+            AppEntry {
+                contract,
+                agents,
+                allowed_clients: None,
+            },
+        );
+    }
+
+    /// Restricts `app` to the listed clients (default: all allowed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `app` is not deployed.
+    pub fn restrict_clients<I: IntoIterator<Item = ClientId>>(&mut self, app: AppId, clients: I) {
+        let entry = self.apps.get_mut(&app).expect("app not deployed");
+        entry.allowed_clients = Some(clients.into_iter().collect());
+    }
+
+    /// The deployed application ids.
+    #[must_use]
+    pub fn app_ids(&self) -> Vec<AppId> {
+        self.apps.keys().copied().collect()
+    }
+
+    /// Number of deployed applications.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// Returns `true` when no application is deployed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.apps.is_empty()
+    }
+
+    /// The contract of `app`.
+    ///
+    /// # Errors
+    ///
+    /// [`TypeError::UnknownApp`] if not deployed.
+    pub fn contract(&self, app: AppId) -> Result<&Arc<dyn SmartContract>, TypeError> {
+        self.apps
+            .get(&app)
+            .map(|e| &e.contract)
+            .ok_or(TypeError::UnknownApp(app))
+    }
+
+    /// Σ(app): the agents of `app` (empty if unknown).
+    #[must_use]
+    pub fn agents(&self, app: AppId) -> Vec<NodeId> {
+        self.apps
+            .get(&app)
+            .map(|e| e.agents.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Whether `node` is an agent of `app`.
+    #[must_use]
+    pub fn is_agent(&self, node: NodeId, app: AppId) -> bool {
+        self.apps
+            .get(&app)
+            .is_some_and(|e| e.agents.contains(&node))
+    }
+
+    /// The union of all agent sets: every node that executes anything.
+    #[must_use]
+    pub fn all_agents(&self) -> BTreeSet<NodeId> {
+        self.apps
+            .values()
+            .flat_map(|e| e.agents.iter().copied())
+            .collect()
+    }
+
+    /// Orderer-side access control (§III-A): "if a client is not
+    /// authorized to perform an operation on the requested application,
+    /// orderers simply discard that request".
+    ///
+    /// # Errors
+    ///
+    /// [`TypeError::UnknownApp`] for undeployed applications and
+    /// [`TypeError::Unauthorized`] for disallowed clients.
+    pub fn check_access(&self, client: ClientId, app: AppId) -> Result<(), TypeError> {
+        let entry = self.apps.get(&app).ok_or(TypeError::UnknownApp(app))?;
+        match &entry.allowed_clients {
+            Some(allowed) if !allowed.contains(&client) => {
+                Err(TypeError::Unauthorized { client, app })
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+impl std::fmt::Debug for AppRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut map = f.debug_map();
+        for (app, entry) in &self.apps {
+            map.entry(&app.to_string(), &(entry.contract.name(), &entry.agents));
+        }
+        map.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use crate::accounting::AccountingContract;
+    use crate::kv_app::KvContract;
+
+    use super::*;
+
+    fn registry() -> AppRegistry {
+        let mut r = AppRegistry::new();
+        r.deploy(Arc::new(AccountingContract::new(AppId(0))), [NodeId(4)]);
+        r.deploy(
+            Arc::new(KvContract::new(AppId(1))),
+            [NodeId(5), NodeId(6)],
+        );
+        r
+    }
+
+    #[test]
+    fn agents_and_membership() {
+        let r = registry();
+        assert_eq!(r.agents(AppId(1)), vec![NodeId(5), NodeId(6)]);
+        assert!(r.is_agent(NodeId(4), AppId(0)));
+        assert!(!r.is_agent(NodeId(4), AppId(1)));
+        assert!(r.agents(AppId(9)).is_empty());
+        assert_eq!(r.all_agents().len(), 3);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn contract_lookup() {
+        let r = registry();
+        assert_eq!(r.contract(AppId(0)).unwrap().name(), "accounting");
+        assert_eq!(
+            r.contract(AppId(9)).err().unwrap(),
+            TypeError::UnknownApp(AppId(9))
+        );
+    }
+
+    #[test]
+    fn access_control_defaults_open_then_restricts() {
+        let mut r = registry();
+        assert!(r.check_access(ClientId(1), AppId(0)).is_ok());
+        r.restrict_clients(AppId(0), [ClientId(1)]);
+        assert!(r.check_access(ClientId(1), AppId(0)).is_ok());
+        assert_eq!(
+            r.check_access(ClientId(2), AppId(0)).unwrap_err(),
+            TypeError::Unauthorized {
+                client: ClientId(2),
+                app: AppId(0)
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_app_access_is_rejected() {
+        let r = registry();
+        assert_eq!(
+            r.check_access(ClientId(1), AppId(7)).unwrap_err(),
+            TypeError::UnknownApp(AppId(7))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must be non-empty")]
+    fn empty_agent_set_panics() {
+        let mut r = AppRegistry::new();
+        r.deploy(Arc::new(KvContract::new(AppId(0))), []);
+    }
+
+    #[test]
+    fn debug_lists_deployments() {
+        let r = registry();
+        let debug = format!("{r:?}");
+        assert!(debug.contains("accounting"));
+        assert!(debug.contains("kv"));
+    }
+}

@@ -1,0 +1,126 @@
+//! The smart-contract execution interface.
+
+use parblock_ledger::KvState;
+use parblock_types::{AppId, Key, Transaction, Value};
+
+/// A read view of the blockchain state presented to contracts.
+///
+/// Contracts never write directly: they return their write set in the
+/// [`ExecOutcome`], and the hosting executor applies it once the
+/// transaction commits (Algorithm 3). This keeps execution deterministic
+/// and side-effect free, as the paper's model requires.
+pub trait StateReader {
+    /// Reads the current value of `key` ([`Value::Unit`] if absent).
+    fn read(&self, key: Key) -> Value;
+}
+
+impl StateReader for KvState {
+    fn read(&self, key: Key) -> Value {
+        self.get(key)
+    }
+}
+
+/// A read view over a base state plus an overlay of in-flight writes —
+/// what an executor sees mid-block, after some predecessors committed
+/// locally but before the block is applied to the canonical state.
+#[derive(Debug)]
+pub struct OverlayReader<'a, R: StateReader> {
+    base: &'a R,
+    overlay: &'a std::collections::HashMap<Key, Value>,
+}
+
+impl<'a, R: StateReader> OverlayReader<'a, R> {
+    /// Creates a view of `base` shadowed by `overlay`.
+    pub fn new(base: &'a R, overlay: &'a std::collections::HashMap<Key, Value>) -> Self {
+        OverlayReader { base, overlay }
+    }
+}
+
+impl<R: StateReader> StateReader for OverlayReader<'_, R> {
+    fn read(&self, key: Key) -> Value {
+        self.overlay
+            .get(&key)
+            .cloned()
+            .unwrap_or_else(|| self.base.read(key))
+    }
+}
+
+/// The result of executing one transaction.
+///
+/// An aborted transaction is the paper's `(x, "abort")` entry in a COMMIT
+/// message: it carries no writes but still counts as processed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecOutcome {
+    /// The transaction is valid; apply these writes.
+    Commit(Vec<(Key, Value)>),
+    /// The transaction is invalid at the application level.
+    Abort(String),
+}
+
+impl ExecOutcome {
+    /// The writes, if committed.
+    #[must_use]
+    pub fn writes(&self) -> Option<&[(Key, Value)]> {
+        match self {
+            ExecOutcome::Commit(w) => Some(w),
+            ExecOutcome::Abort(_) => None,
+        }
+    }
+
+    /// Returns `true` when the execution committed.
+    #[must_use]
+    pub fn is_commit(&self) -> bool {
+        matches!(self, ExecOutcome::Commit(_))
+    }
+}
+
+/// A deterministic smart contract: the program code implementing one
+/// application's logic.
+///
+/// Implementations must be pure functions of `(tx, state)` — executors on
+/// different nodes must produce byte-identical outcomes so that matching
+/// results can be counted against τ(A).
+pub trait SmartContract: Send + Sync {
+    /// The application this contract implements.
+    fn app(&self) -> AppId;
+
+    /// Human-readable contract name.
+    fn name(&self) -> &str;
+
+    /// Executes `tx` against `state`.
+    ///
+    /// Contracts must only read keys in the transaction's declared read
+    /// set and only write keys in the declared write set; the execution
+    /// engine relies on the declaration for scheduling.
+    fn execute(&self, tx: &Transaction, state: &dyn StateReader) -> ExecOutcome;
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    use parblock_types::Value;
+
+    use super::*;
+
+    #[test]
+    fn overlay_shadows_base() {
+        let base = KvState::with_genesis([(Key(1), Value::Int(1)), (Key(2), Value::Int(2))]);
+        let mut overlay = HashMap::new();
+        overlay.insert(Key(1), Value::Int(10));
+        let view = OverlayReader::new(&base, &overlay);
+        assert_eq!(view.read(Key(1)), Value::Int(10));
+        assert_eq!(view.read(Key(2)), Value::Int(2));
+        assert_eq!(view.read(Key(3)), Value::Unit);
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let commit = ExecOutcome::Commit(vec![(Key(1), Value::Int(1))]);
+        assert!(commit.is_commit());
+        assert_eq!(commit.writes().unwrap().len(), 1);
+        let abort = ExecOutcome::Abort("insufficient funds".into());
+        assert!(!abort.is_commit());
+        assert!(abort.writes().is_none());
+    }
+}

@@ -1,0 +1,108 @@
+//! Consensus payloads: batches of transactions and the cut-block marker.
+//!
+//! Orderers batch client requests before submitting them to consensus
+//! (§III-A: batching "improves the performance of the blockchain … and
+//! amortizes the cost of cryptography"). The time-based block-cut
+//! condition is made deterministic by ordering an explicit cut marker
+//! through consensus — the paper's "the primary sends a cut-block message
+//! in the consensus step" (§IV-B).
+
+use parblock_types::wire::{Reader, Wire};
+use parblock_types::Transaction;
+
+const TAG_BATCH: u8 = 0;
+const TAG_CUT: u8 = 1;
+
+/// A consensus payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Payload {
+    /// A batch of client transactions, in submission order.
+    Batch(Vec<Transaction>),
+    /// The leader's cut-block marker (time-based cut condition).
+    CutMarker,
+}
+
+impl Payload {
+    /// Encodes the payload for ordering.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Payload::Batch(txs) => {
+                out.push(TAG_BATCH);
+                (txs.len() as u64).encode(&mut out);
+                for tx in txs {
+                    tx.encode(&mut out);
+                }
+            }
+            Payload::CutMarker => out.push(TAG_CUT),
+        }
+        out
+    }
+
+    /// Decodes an ordered payload. Returns `None` on malformed bytes.
+    #[must_use]
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut reader = Reader::new(bytes);
+        match reader.u8()? {
+            TAG_BATCH => {
+                let n = usize::try_from(reader.u64()?).ok()?;
+                let mut txs = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    txs.push(Transaction::decode(&mut reader)?);
+                }
+                reader.is_exhausted().then_some(Payload::Batch(txs))
+            }
+            TAG_CUT => reader.is_exhausted().then_some(Payload::CutMarker),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use parblock_types::{AppId, ClientId, Key, RwSet, Transaction};
+
+    use super::*;
+
+    fn tx(ts: u64) -> Transaction {
+        Transaction::new(
+            AppId(0),
+            ClientId(1),
+            ts,
+            RwSet::new([Key(1)], [Key(2)]),
+            vec![1, 2, 3],
+        )
+    }
+
+    #[test]
+    fn batch_round_trip() {
+        let batch = Payload::Batch(vec![tx(1), tx(2), tx(3)]);
+        assert_eq!(Payload::decode(&batch.encode()), Some(batch));
+    }
+
+    #[test]
+    fn empty_batch_round_trip() {
+        let batch = Payload::Batch(vec![]);
+        assert_eq!(Payload::decode(&batch.encode()), Some(batch));
+    }
+
+    #[test]
+    fn cut_marker_round_trip() {
+        assert_eq!(
+            Payload::decode(&Payload::CutMarker.encode()),
+            Some(Payload::CutMarker)
+        );
+    }
+
+    #[test]
+    fn malformed_inputs_decode_to_none() {
+        assert_eq!(Payload::decode(&[]), None);
+        assert_eq!(Payload::decode(&[9]), None);
+        let mut bytes = Payload::Batch(vec![tx(1)]).encode();
+        bytes.truncate(bytes.len() - 1);
+        assert_eq!(Payload::decode(&bytes), None);
+        // Trailing garbage after a cut marker.
+        assert_eq!(Payload::decode(&[TAG_CUT, 0]), None);
+    }
+}

@@ -1,0 +1,400 @@
+//! Cluster specification: node layout, topology, application deployment.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parblock_contracts::{AccountingContract, AppRegistry};
+use parblock_crypto::{KeyRegistry, SignerId};
+use parblock_depgraph::DependencyMode;
+use parblock_net::{DcId, Topology};
+use parblock_types::{
+    AppId, BlockCutConfig, ClientId, CommitPolicy, ExecutionCosts, NodeId,
+};
+use parblock_workload::WorkloadConfig;
+
+/// Which of the three systems to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemKind {
+    /// Order-execute: sequential execution on every peer.
+    Ox,
+    /// Execute-order-validate (Fabric-style).
+    Xov,
+    /// OXII / ParBlockchain.
+    Oxii,
+}
+
+impl std::fmt::Display for SystemKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SystemKind::Ox => "OX",
+            SystemKind::Xov => "XOV",
+            SystemKind::Oxii => "OXII",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Which ordering protocol the orderers run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConsensusKind {
+    /// Kafka-like CFT sequencer (the paper's evaluation setup).
+    Sequencer,
+    /// PBFT (the paper's Fig 2 setup).
+    Pbft,
+}
+
+/// When OXII executors multicast their COMMIT messages (§IV-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CommitFlush {
+    /// Algorithm 2: buffer results, multicast when a result is needed by
+    /// another application's agents (and at end of share).
+    #[default]
+    Cut,
+    /// Naive alternative the paper rejects: one commit message per
+    /// transaction ("the number of exchanged commit messages will be
+    /// large … n·m messages for the block").
+    PerTransaction,
+}
+
+/// The node group moved to the far datacenter in the Fig 7 experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MovedGroup {
+    /// Fig 7(a).
+    Clients,
+    /// Fig 7(b).
+    Orderers,
+    /// Fig 7(c).
+    Executors,
+    /// Fig 7(d).
+    NonExecutors,
+}
+
+/// Datacenter latency model for an experiment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopologySpec {
+    /// Link latency within a datacenter.
+    pub intra: Duration,
+    /// Link latency between the two datacenters.
+    pub inter: Duration,
+    /// The group placed in the far datacenter, if any.
+    pub moved: Option<MovedGroup>,
+}
+
+impl Default for TopologySpec {
+    fn default() -> Self {
+        TopologySpec {
+            intra: Duration::from_micros(200),
+            inter: Duration::from_millis(10),
+            moved: None,
+        }
+    }
+}
+
+/// Full specification of a simulated cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// The system under test.
+    pub system: SystemKind,
+    /// Ordering protocol.
+    pub consensus: ConsensusKind,
+    /// Number of orderer replicas (3 for the sequencer, 4 for PBFT).
+    pub orderers: usize,
+    /// Number of applications (the paper uses 3).
+    pub apps: usize,
+    /// Executor (endorser) nodes per application; τ(A) equals this.
+    pub executors_per_app: usize,
+    /// Passive peers that execute nothing (Fig 7d).
+    pub non_executors: usize,
+    /// Block-cutting conditions.
+    pub block_cut: BlockCutConfig,
+    /// Synthetic execution cost model.
+    pub costs: ExecutionCosts,
+    /// Dependency-graph construction mode (OXII only).
+    pub depgraph_mode: DependencyMode,
+    /// Workload shape (contention etc.). `block_size` is kept in sync
+    /// with `block_cut.max_txns` by [`ClusterSpec::workload_config`].
+    pub workload: WorkloadConfig,
+    /// Latency topology.
+    pub topology: TopologySpec,
+    /// Worker threads per OXII executor.
+    pub exec_pool: usize,
+    /// Maximum transactions per consensus batch.
+    pub batch_max: usize,
+    /// Consensus view-change timeout.
+    pub consensus_timeout: Duration,
+    /// When set, the observer records a digest of the blockchain state
+    /// after every block, exposed as `RunReport::state_digest` (used by
+    /// correctness tests; costs one state hash per block).
+    pub capture_state: bool,
+    /// OXII commit-message batching strategy (ablation knob).
+    pub commit_flush: CommitFlush,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ClusterSpec {
+    /// A paper-like default: 3 orderers (sequencer), 3 applications with
+    /// one executor each, one non-executor, 200-transaction blocks.
+    #[must_use]
+    pub fn new(system: SystemKind) -> Self {
+        ClusterSpec {
+            system,
+            consensus: ConsensusKind::Sequencer,
+            orderers: 3,
+            apps: 3,
+            executors_per_app: 1,
+            non_executors: 1,
+            block_cut: BlockCutConfig::default(),
+            costs: ExecutionCosts::default(),
+            depgraph_mode: DependencyMode::Reduced,
+            workload: WorkloadConfig::default(),
+            topology: TopologySpec::default(),
+            exec_pool: 16,
+            batch_max: 64,
+            consensus_timeout: Duration::from_secs(5),
+            capture_state: false,
+            commit_flush: CommitFlush::default(),
+            seed: 42,
+        }
+    }
+
+    /// Switches to PBFT ordering with 4 orderers.
+    #[must_use]
+    pub fn with_pbft(mut self) -> Self {
+        self.consensus = ConsensusKind::Pbft;
+        self.orderers = 4;
+        self
+    }
+
+    // ---- node layout -----------------------------------------------
+
+    /// Orderer node ids: `0..orderers`.
+    #[must_use]
+    pub fn orderer_ids(&self) -> Vec<NodeId> {
+        (0..self.orderers as u32).map(NodeId).collect()
+    }
+
+    /// Executor node ids, grouped `apps × executors_per_app`, following
+    /// the orderers.
+    #[must_use]
+    pub fn executor_ids(&self) -> Vec<NodeId> {
+        let base = self.orderers as u32;
+        (0..(self.apps * self.executors_per_app) as u32)
+            .map(|i| NodeId(base + i))
+            .collect()
+    }
+
+    /// Non-executor peer ids, following the executors.
+    #[must_use]
+    pub fn non_executor_ids(&self) -> Vec<NodeId> {
+        let base = (self.orderers + self.apps * self.executors_per_app) as u32;
+        (0..self.non_executors as u32).map(|i| NodeId(base + i)).collect()
+    }
+
+    /// All peers that receive blocks (executors + non-executors).
+    #[must_use]
+    pub fn peer_ids(&self) -> Vec<NodeId> {
+        let mut ids = self.executor_ids();
+        ids.extend(self.non_executor_ids());
+        ids
+    }
+
+    /// The client driver's node id (one shared endpoint for all clients).
+    #[must_use]
+    pub fn client_node(&self) -> NodeId {
+        NodeId(
+            (self.orderers + self.apps * self.executors_per_app + self.non_executors) as u32,
+        )
+    }
+
+    /// Total number of network nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.orderers + self.apps * self.executors_per_app + self.non_executors + 1
+    }
+
+    /// The peer whose commits are measured (the first executor).
+    #[must_use]
+    pub fn observer(&self) -> NodeId {
+        self.executor_ids()[0]
+    }
+
+    /// The orderer clients submit to (leader of view/epoch 0).
+    #[must_use]
+    pub fn entry_orderer(&self) -> NodeId {
+        self.orderer_ids()[0]
+    }
+
+    // ---- deployment -------------------------------------------------
+
+    /// The agents of application `i`: executors `i·k .. (i+1)·k`.
+    #[must_use]
+    pub fn agents_of(&self, app: AppId) -> Vec<NodeId> {
+        let executors = self.executor_ids();
+        let k = self.executors_per_app;
+        let start = app.0 as usize * k;
+        executors[start..start + k].to_vec()
+    }
+
+    /// Builds the application registry: one accounting contract per
+    /// application (the paper's §V workload), agents per
+    /// [`ClusterSpec::agents_of`].
+    #[must_use]
+    pub fn registry(&self) -> AppRegistry {
+        let mut registry = AppRegistry::new();
+        for i in 0..self.apps as u16 {
+            let app = AppId(i);
+            registry.deploy(
+                Arc::new(AccountingContract::new(app)),
+                self.agents_of(app),
+            );
+        }
+        registry
+    }
+
+    /// τ(A): matching results required per application.
+    #[must_use]
+    pub fn commit_policy(&self) -> CommitPolicy {
+        CommitPolicy::uniform(self.executors_per_app)
+    }
+
+    /// How many matching NEWBLOCK copies a peer waits for (`f + 1` under
+    /// PBFT, 1 under the crash-only sequencer).
+    #[must_use]
+    pub fn newblock_quorum(&self) -> usize {
+        match self.consensus {
+            ConsensusKind::Sequencer => 1,
+            ConsensusKind::Pbft => (self.orderers - 1) / 3 + 1,
+        }
+    }
+
+    /// The network topology with the configured group in the far DC.
+    #[must_use]
+    pub fn build_topology(&self) -> Topology {
+        let mut topo = Topology::two_dc(self.topology.intra, self.topology.inter);
+        let far: Vec<NodeId> = match self.topology.moved {
+            None => Vec::new(),
+            Some(MovedGroup::Clients) => vec![self.client_node()],
+            Some(MovedGroup::Orderers) => self.orderer_ids(),
+            Some(MovedGroup::Executors) => self.executor_ids(),
+            Some(MovedGroup::NonExecutors) => self.non_executor_ids(),
+        };
+        topo.place_all(far, DcId(1));
+        topo
+    }
+
+    /// The workload configuration, with the conflict-shaping window tied
+    /// to the block size and app list matching the deployment.
+    #[must_use]
+    pub fn workload_config(&self) -> WorkloadConfig {
+        let mut cfg = self.workload.clone();
+        cfg.apps = (0..self.apps as u16).map(AppId).collect();
+        cfg.block_size = self.block_cut.max_txns.clamp(1, 4096);
+        cfg.seed = self.seed;
+        cfg
+    }
+
+    // ---- signers ----------------------------------------------------
+
+    /// The signer for a node.
+    #[must_use]
+    pub fn node_signer(&self, node: NodeId) -> SignerId {
+        SignerId(node.0)
+    }
+
+    /// The signer for a client.
+    #[must_use]
+    pub fn client_signer(&self, client: ClientId) -> SignerId {
+        SignerId(self.node_count() as u32 + client.0)
+    }
+
+    /// A key registry covering every node and client.
+    #[must_use]
+    pub fn build_keys(&self) -> KeyRegistry {
+        KeyRegistry::deterministic(self.node_count() as u32 + self.workload.clients)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_layout_is_contiguous_and_disjoint() {
+        let spec = ClusterSpec::new(SystemKind::Oxii);
+        assert_eq!(spec.orderer_ids(), vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(
+            spec.executor_ids(),
+            vec![NodeId(3), NodeId(4), NodeId(5)]
+        );
+        assert_eq!(spec.non_executor_ids(), vec![NodeId(6)]);
+        assert_eq!(spec.client_node(), NodeId(7));
+        assert_eq!(spec.node_count(), 8);
+        assert_eq!(spec.observer(), NodeId(3));
+    }
+
+    #[test]
+    fn agents_partition_executors() {
+        let mut spec = ClusterSpec::new(SystemKind::Oxii);
+        spec.executors_per_app = 2;
+        assert_eq!(spec.agents_of(AppId(0)), vec![NodeId(3), NodeId(4)]);
+        assert_eq!(spec.agents_of(AppId(2)), vec![NodeId(7), NodeId(8)]);
+        assert_eq!(spec.commit_policy().required(AppId(1)), 2);
+    }
+
+    #[test]
+    fn registry_matches_layout() {
+        let spec = ClusterSpec::new(SystemKind::Oxii);
+        let registry = spec.registry();
+        assert_eq!(registry.len(), 3);
+        assert!(registry.is_agent(NodeId(4), AppId(1)));
+        assert!(!registry.is_agent(NodeId(4), AppId(0)));
+    }
+
+    #[test]
+    fn pbft_variant_has_four_orderers_and_quorum_two() {
+        let spec = ClusterSpec::new(SystemKind::Oxii).with_pbft();
+        assert_eq!(spec.orderers, 4);
+        assert_eq!(spec.newblock_quorum(), 2);
+        assert_eq!(
+            ClusterSpec::new(SystemKind::Oxii).newblock_quorum(),
+            1
+        );
+    }
+
+    #[test]
+    fn moved_groups_land_in_far_dc() {
+        let mut spec = ClusterSpec::new(SystemKind::Oxii);
+        spec.topology.moved = Some(MovedGroup::Executors);
+        let topo = spec.build_topology();
+        assert_eq!(topo.dc_of(spec.executor_ids()[0]), DcId(1));
+        assert_eq!(topo.dc_of(spec.orderer_ids()[0]), DcId(0));
+        assert_eq!(topo.dc_of(spec.client_node()), DcId(0));
+    }
+
+    #[test]
+    fn workload_window_follows_block_size() {
+        let mut spec = ClusterSpec::new(SystemKind::Oxii);
+        spec.block_cut = BlockCutConfig::with_max_txns(50);
+        let cfg = spec.workload_config();
+        assert_eq!(cfg.block_size, 50);
+        assert_eq!(cfg.apps.len(), 3);
+    }
+
+    #[test]
+    fn signers_do_not_collide() {
+        let spec = ClusterSpec::new(SystemKind::Oxii);
+        let node_max = spec.node_signer(spec.client_node());
+        let client0 = spec.client_signer(ClientId(0));
+        assert!(client0.0 > node_max.0);
+        let keys = spec.build_keys();
+        assert!(keys.len() >= spec.node_count());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(SystemKind::Ox.to_string(), "OX");
+        assert_eq!(SystemKind::Xov.to_string(), "XOV");
+        assert_eq!(SystemKind::Oxii.to_string(), "OXII");
+    }
+}

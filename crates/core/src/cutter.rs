@@ -1,0 +1,160 @@
+//! The block cutter (§IV-B).
+//!
+//! "Blocks have a pre-defined maximal size, maximal number of
+//! transactions, and maximal time the block production takes since the
+//! first transaction of a new block was received. When any of these three
+//! conditions is satisfied, a block is full."
+//!
+//! Count and byte conditions are evaluated on the delivered transaction
+//! stream and are therefore deterministic across orderers; the time
+//! condition is driven by the ordered
+//! [`Payload::CutMarker`](crate::batch::Payload::CutMarker), which is
+//! equally deterministic.
+
+use std::time::Instant;
+
+use parblock_types::{BlockCutConfig, Transaction};
+
+/// Accumulates ordered transactions and cuts blocks.
+#[derive(Debug)]
+pub struct BlockCutter {
+    cfg: BlockCutConfig,
+    pending: Vec<Transaction>,
+    pending_bytes: usize,
+    /// When the first pending transaction arrived (leader's local clock;
+    /// used only to decide when to *order* a cut marker).
+    first_arrival: Option<Instant>,
+}
+
+impl BlockCutter {
+    /// Creates a cutter.
+    #[must_use]
+    pub fn new(cfg: BlockCutConfig) -> Self {
+        BlockCutter {
+            cfg,
+            pending: Vec::new(),
+            pending_bytes: 0,
+            first_arrival: None,
+        }
+    }
+
+    /// Number of transactions waiting for a cut.
+    #[must_use]
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Feeds one ordered transaction; returns a full block's transactions
+    /// when a deterministic condition (count or bytes) is met.
+    pub fn push(&mut self, tx: Transaction) -> Option<Vec<Transaction>> {
+        if self.pending.is_empty() {
+            self.first_arrival = Some(Instant::now());
+        }
+        self.pending_bytes += tx.encoded_len();
+        self.pending.push(tx);
+        if self.pending.len() >= self.cfg.max_txns || self.pending_bytes >= self.cfg.max_bytes {
+            return Some(self.cut());
+        }
+        None
+    }
+
+    /// Handles an ordered cut marker: cuts whatever is pending.
+    /// Returns `None` when nothing is pending (stale marker).
+    pub fn cut_marker(&mut self) -> Option<Vec<Transaction>> {
+        if self.pending.is_empty() {
+            None
+        } else {
+            Some(self.cut())
+        }
+    }
+
+    /// Whether the *leader* should order a cut marker: the oldest pending
+    /// transaction has waited longer than `max_wait`.
+    #[must_use]
+    pub fn wants_time_cut(&self) -> bool {
+        self.first_arrival
+            .is_some_and(|t| t.elapsed() >= self.cfg.max_wait && !self.pending.is_empty())
+    }
+
+    fn cut(&mut self) -> Vec<Transaction> {
+        self.pending_bytes = 0;
+        self.first_arrival = None;
+        std::mem::take(&mut self.pending)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Duration;
+
+    use parblock_types::{AppId, ClientId, RwSet};
+
+    use super::*;
+
+    fn tx(ts: u64, payload_len: usize) -> Transaction {
+        Transaction::new(
+            AppId(0),
+            ClientId(1),
+            ts,
+            RwSet::default(),
+            vec![0; payload_len],
+        )
+    }
+
+    fn cfg(max_txns: usize, max_bytes: usize, max_wait_ms: u64) -> BlockCutConfig {
+        BlockCutConfig {
+            max_txns,
+            max_bytes,
+            max_wait: Duration::from_millis(max_wait_ms),
+        }
+    }
+
+    #[test]
+    fn cuts_on_transaction_count() {
+        let mut cutter = BlockCutter::new(cfg(3, usize::MAX, 1000));
+        assert!(cutter.push(tx(1, 0)).is_none());
+        assert!(cutter.push(tx(2, 0)).is_none());
+        let block = cutter.push(tx(3, 0)).expect("cut at 3");
+        assert_eq!(block.len(), 3);
+        assert_eq!(cutter.pending_len(), 0);
+    }
+
+    #[test]
+    fn cuts_on_byte_size() {
+        let mut cutter = BlockCutter::new(cfg(usize::MAX, 300, 1000));
+        assert!(cutter.push(tx(1, 100)).is_none());
+        let block = cutter.push(tx(2, 200)).expect("bytes exceeded");
+        assert_eq!(block.len(), 2);
+    }
+
+    #[test]
+    fn cut_marker_flushes_pending() {
+        let mut cutter = BlockCutter::new(cfg(100, usize::MAX, 1000));
+        cutter.push(tx(1, 0));
+        cutter.push(tx(2, 0));
+        let block = cutter.cut_marker().expect("pending flushed");
+        assert_eq!(block.len(), 2);
+        assert!(cutter.cut_marker().is_none(), "stale marker ignored");
+    }
+
+    #[test]
+    fn time_cut_requested_after_max_wait() {
+        let mut cutter = BlockCutter::new(cfg(100, usize::MAX, 5));
+        assert!(!cutter.wants_time_cut());
+        cutter.push(tx(1, 0));
+        assert!(!cutter.wants_time_cut());
+        std::thread::sleep(Duration::from_millis(7));
+        assert!(cutter.wants_time_cut());
+        let _ = cutter.cut_marker();
+        assert!(!cutter.wants_time_cut());
+    }
+
+    #[test]
+    fn consecutive_blocks_preserve_order() {
+        let mut cutter = BlockCutter::new(cfg(2, usize::MAX, 1000));
+        let b1 = cutter.push(tx(2, 0)).is_none().then(|| cutter.push(tx(1, 0))).flatten();
+        let b1 = b1.expect("first block");
+        assert_eq!(b1[0].id().client_ts, 2);
+        assert_eq!(b1[1].id().client_ts, 1);
+    }
+}

@@ -1,0 +1,102 @@
+//! The client load driver for OX and OXII: rate-paced REQUEST submission
+//! straight to the ordering service (§IV-B: "clients send requests to the
+//! orderer nodes").
+
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parblock_net::Endpoint;
+use parblock_types::wire::Wire;
+use parblock_types::Transaction;
+use parblock_workload::WorkloadGen;
+
+use crate::msg::Msg;
+use crate::shared::Shared;
+
+/// Submission pacing tick.
+const TICK: Duration = Duration::from_millis(1);
+
+/// Runs an open-loop driver: `rate_tps` transactions per second for
+/// `duration`, then returns (commits continue to drain afterwards).
+pub(crate) fn run_driver(
+    shared: &Arc<Shared>,
+    endpoint: &Endpoint<Msg>,
+    rate_tps: f64,
+    duration: Duration,
+) {
+    run_driver_inner(shared, endpoint, rate_tps, Some(duration), None);
+}
+
+/// Submits exactly `count` transactions at `rate_tps`, then returns.
+pub(crate) fn run_driver_count(
+    shared: &Arc<Shared>,
+    endpoint: &Endpoint<Msg>,
+    rate_tps: f64,
+    count: usize,
+) {
+    run_driver_inner(shared, endpoint, rate_tps, None, Some(count));
+}
+
+fn run_driver_inner(
+    shared: &Arc<Shared>,
+    endpoint: &Endpoint<Msg>,
+    rate_tps: f64,
+    duration: Option<Duration>,
+    count: Option<usize>,
+) {
+    let mut gen = WorkloadGen::new(shared.spec.workload_config());
+    let mut buffer: VecDeque<Transaction> = VecDeque::new();
+    let entry = shared.spec.entry_orderer();
+    let per_tick = rate_tps * TICK.as_secs_f64();
+    let mut acc = 0.0f64;
+    let mut sent = 0usize;
+    let start = Instant::now();
+
+    loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        if duration.is_some_and(|d| start.elapsed() >= d) {
+            return;
+        }
+        if count.is_some_and(|c| sent >= c) {
+            return;
+        }
+        let tick_start = Instant::now();
+        acc += per_tick;
+        let mut n = acc.floor() as usize;
+        acc -= n as f64;
+        if let Some(c) = count {
+            n = n.min(c - sent);
+        }
+        for _ in 0..n {
+            let tx = match buffer.pop_front() {
+                Some(tx) => tx,
+                None => {
+                    buffer.extend(gen.window());
+                    buffer.pop_front().expect("window is non-empty")
+                }
+            };
+            submit(shared, endpoint, entry, tx);
+            sent += 1;
+        }
+        let elapsed = tick_start.elapsed();
+        if elapsed < TICK {
+            std::thread::sleep(TICK - elapsed);
+        }
+    }
+}
+
+pub(crate) fn submit(
+    shared: &Arc<Shared>,
+    endpoint: &Endpoint<Msg>,
+    entry: parblock_types::NodeId,
+    tx: Transaction,
+) {
+    let signer = shared.spec.client_signer(tx.client());
+    let sig = shared.keys.sign(signer, &tx.wire_bytes());
+    shared.metrics.record_submit(tx.id());
+    endpoint.send(entry, Msg::Request { tx, sig });
+}

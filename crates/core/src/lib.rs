@@ -1,0 +1,56 @@
+//! ParBlockchain: a permissioned blockchain in the OXII paradigm (§IV),
+//! plus the two baselines the paper evaluates against.
+//!
+//! Three complete systems share the same substrates (network, crypto,
+//! ledger, contracts, workload):
+//!
+//! * [`oxii`] — **ParBlockchain**: clients → orderers (consensus + block
+//!   cutting + dependency-graph generation) → executors running the three
+//!   concurrent procedures of §IV-C (execute following the graph,
+//!   multicast cut-based COMMIT messages, update state on τ(A) matching
+//!   results).
+//! * [`ox`] — the classic order-execute paradigm: order first, then every
+//!   peer executes sequentially.
+//! * [`xov`] — the execute-order-validate paradigm of Hyperledger Fabric:
+//!   clients gather endorsements, orderers sequence envelopes, every peer
+//!   validates read versions and aborts stale transactions.
+//!
+//! The [`runner`] module exposes a uniform experiment API used by the
+//! examples and the benchmark harness:
+//!
+//! ```no_run
+//! use std::time::Duration;
+//! use parblockchain::{run, ClusterSpec, LoadSpec, SystemKind};
+//!
+//! let spec = ClusterSpec::new(SystemKind::Oxii);
+//! let load = LoadSpec {
+//!     rate_tps: 2_000.0,
+//!     duration: Duration::from_secs(2),
+//!     ..LoadSpec::default()
+//! };
+//! let report = run(&spec, &load);
+//! println!("{} tx/s at {:?} avg latency", report.throughput_tps(), report.avg_latency());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod cluster;
+pub mod cutter;
+mod driver;
+pub mod hostcons;
+pub mod metrics;
+pub mod msg;
+mod orderer;
+pub mod ox;
+pub mod oxii;
+mod pool;
+mod quorum;
+pub mod runner;
+mod shared;
+pub mod xov;
+
+pub use cluster::{ClusterSpec, CommitFlush, ConsensusKind, MovedGroup, SystemKind, TopologySpec};
+pub use metrics::{Metrics, RunReport};
+pub use runner::{run, run_fixed, LoadSpec};

@@ -1,0 +1,264 @@
+//! End-to-end measurement: submit/commit timestamps, throughput and
+//! latency reporting.
+//!
+//! Latency follows the paper's definition for OXII: "when the executors
+//! execute the messages and receive enough number of matching results
+//! from other executors, the transaction is counted as committed"
+//! (§V-C) — i.e. submit-at-client → commit-at-observer-peer.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use parblock_types::TxId;
+
+/// Shared metrics sink. Cloning shares the underlying state.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    submits: Mutex<HashMap<TxId, Instant>>,
+    /// Latencies of committed transactions (µs).
+    latencies: Mutex<Vec<u64>>,
+    committed: AtomicU64,
+    aborted: AtomicU64,
+    blocks: AtomicU64,
+    first_submit: Mutex<Option<Instant>>,
+    last_commit: Mutex<Option<Instant>>,
+    state_digest: Mutex<Option<parblock_types::Hash32>>,
+}
+
+impl Metrics {
+    /// Creates an empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a client submission (driver side).
+    pub fn record_submit(&self, tx: TxId) {
+        let now = Instant::now();
+        self.inner.submits.lock().insert(tx, now);
+        let mut first = self.inner.first_submit.lock();
+        if first.is_none() {
+            *first = Some(now);
+        }
+    }
+
+    /// Records a commit observed at the designated observer peer.
+    ///
+    /// Unknown transaction ids (e.g. warm-up traffic submitted before
+    /// measurement started) are counted but contribute no latency sample.
+    pub fn record_commit(&self, tx: TxId) {
+        let now = Instant::now();
+        self.inner.committed.fetch_add(1, Ordering::Relaxed);
+        if let Some(submitted) = self.inner.submits.lock().remove(&tx) {
+            let micros = now.duration_since(submitted).as_micros() as u64;
+            self.inner.latencies.lock().push(micros);
+        }
+        *self.inner.last_commit.lock() = Some(now);
+    }
+
+    /// Records an abort observed at the observer peer (XOV validation
+    /// failures, contract-level rejections).
+    pub fn record_abort(&self, tx: TxId) {
+        self.inner.aborted.fetch_add(1, Ordering::Relaxed);
+        self.inner.submits.lock().remove(&tx);
+    }
+
+    /// Records a block fully processed at the observer.
+    pub fn record_block(&self) {
+        self.inner.blocks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of committed transactions so far.
+    #[must_use]
+    pub fn committed(&self) -> u64 {
+        self.inner.committed.load(Ordering::Relaxed)
+    }
+
+    /// Number of processed (committed + aborted) transactions so far.
+    #[must_use]
+    pub fn processed(&self) -> u64 {
+        self.inner.committed.load(Ordering::Relaxed) + self.inner.aborted.load(Ordering::Relaxed)
+    }
+
+    /// Records the observer's state digest after a block (see
+    /// `ClusterSpec::capture_state`).
+    pub fn set_state_digest(&self, digest: parblock_types::Hash32) {
+        *self.inner.state_digest.lock() = Some(digest);
+    }
+
+    /// Freezes the sink into a report.
+    #[must_use]
+    pub fn report(&self) -> RunReport {
+        let mut latencies = self.inner.latencies.lock().clone();
+        latencies.sort_unstable();
+        let window = match (
+            *self.inner.first_submit.lock(),
+            *self.inner.last_commit.lock(),
+        ) {
+            (Some(a), Some(b)) if b > a => b - a,
+            _ => Duration::ZERO,
+        };
+        RunReport {
+            committed: self.inner.committed.load(Ordering::Relaxed),
+            aborted: self.inner.aborted.load(Ordering::Relaxed),
+            blocks: self.inner.blocks.load(Ordering::Relaxed),
+            window,
+            latencies_us: latencies,
+            state_digest: *self.inner.state_digest.lock(),
+            messages: 0,
+        }
+    }
+}
+
+/// The outcome of one experiment run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunReport {
+    /// Transactions committed at the observer.
+    pub committed: u64,
+    /// Transactions aborted at the observer.
+    pub aborted: u64,
+    /// Blocks processed at the observer.
+    pub blocks: u64,
+    /// First submission → last commit.
+    pub window: Duration,
+    /// Sorted commit latencies in microseconds.
+    pub latencies_us: Vec<u64>,
+    /// Observer's final state digest (when capture was enabled).
+    pub state_digest: Option<parblock_types::Hash32>,
+    /// Total network messages sent during the run (filled by the runner;
+    /// the commit-batching ablation compares this across strategies).
+    pub messages: u64,
+}
+
+impl RunReport {
+    /// Committed transactions per second over the measurement window.
+    #[must_use]
+    pub fn throughput_tps(&self) -> f64 {
+        if self.window.is_zero() {
+            return 0.0;
+        }
+        self.committed as f64 / self.window.as_secs_f64()
+    }
+
+    /// Mean end-to-end latency.
+    #[must_use]
+    pub fn avg_latency(&self) -> Duration {
+        if self.latencies_us.is_empty() {
+            return Duration::ZERO;
+        }
+        let sum: u64 = self.latencies_us.iter().sum();
+        Duration::from_micros(sum / self.latencies_us.len() as u64)
+    }
+
+    /// Latency percentile (`p` in `0.0..=1.0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    #[must_use]
+    pub fn latency_percentile(&self, p: f64) -> Duration {
+        assert!((0.0..=1.0).contains(&p), "percentile must be in [0, 1]");
+        if self.latencies_us.is_empty() {
+            return Duration::ZERO;
+        }
+        let idx = ((self.latencies_us.len() - 1) as f64 * p).round() as usize;
+        Duration::from_micros(self.latencies_us[idx])
+    }
+
+    /// Abort rate among processed transactions.
+    #[must_use]
+    pub fn abort_rate(&self) -> f64 {
+        let total = self.committed + self.aborted;
+        if total == 0 {
+            return 0.0;
+        }
+        self.aborted as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use parblock_types::ClientId;
+
+    use super::*;
+
+    fn tx(n: u64) -> TxId {
+        TxId::new(ClientId(0), n)
+    }
+
+    #[test]
+    fn submit_commit_produces_latency_sample() {
+        let m = Metrics::new();
+        m.record_submit(tx(1));
+        std::thread::sleep(Duration::from_millis(2));
+        m.record_commit(tx(1));
+        let r = m.report();
+        assert_eq!(r.committed, 1);
+        assert_eq!(r.latencies_us.len(), 1);
+        assert!(r.avg_latency() >= Duration::from_millis(2));
+        assert!(r.throughput_tps() > 0.0);
+    }
+
+    #[test]
+    fn unknown_commit_counts_without_latency() {
+        let m = Metrics::new();
+        m.record_commit(tx(9));
+        let r = m.report();
+        assert_eq!(r.committed, 1);
+        assert!(r.latencies_us.is_empty());
+        assert_eq!(r.avg_latency(), Duration::ZERO);
+    }
+
+    #[test]
+    fn aborts_tracked_separately() {
+        let m = Metrics::new();
+        m.record_submit(tx(1));
+        m.record_abort(tx(1));
+        m.record_submit(tx(2));
+        m.record_commit(tx(2));
+        let r = m.report();
+        assert_eq!(r.aborted, 1);
+        assert_eq!(r.committed, 1);
+        assert!((r.abort_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_on_known_distribution() {
+        let r = RunReport {
+            committed: 100,
+            aborted: 0,
+            blocks: 1,
+            window: Duration::from_secs(1),
+            latencies_us: (1..=100).collect(),
+            state_digest: None,
+            messages: 0,
+        };
+        assert_eq!(r.latency_percentile(0.0), Duration::from_micros(1));
+        assert_eq!(r.latency_percentile(1.0), Duration::from_micros(100));
+        assert_eq!(r.latency_percentile(0.5), Duration::from_micros(51));
+        assert_eq!(r.avg_latency(), Duration::from_micros(50));
+    }
+
+    #[test]
+    fn empty_report_is_zeroes() {
+        let r = Metrics::new().report();
+        assert_eq!(r.throughput_tps(), 0.0);
+        assert_eq!(r.latency_percentile(0.9), Duration::ZERO);
+        assert_eq!(r.abort_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in [0, 1]")]
+    fn invalid_percentile_panics() {
+        let _ = Metrics::new().report().latency_percentile(1.5);
+    }
+}

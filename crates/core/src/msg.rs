@@ -1,0 +1,143 @@
+//! The cluster-wide message type.
+//!
+//! All three systems share one message enum so they can share the network
+//! substrate and node runtime; each system simply never sends the other's
+//! variants.
+
+use std::sync::Arc;
+
+use parblock_consensus::{PbftMsg, SeqMsg};
+use parblock_crypto::Signature;
+use parblock_depgraph::DependencyGraph;
+use parblock_types::{BlockNumber, Hash32, Key, NodeId, SeqNo, Transaction, Value};
+
+/// Consensus-internal messages (orderer ↔ orderer).
+#[derive(Debug, Clone)]
+pub enum ConsMsg {
+    /// PBFT traffic.
+    Pbft(PbftMsg),
+    /// Quorum-sequencer traffic.
+    Seq(SeqMsg),
+}
+
+/// The immutable content of a NEWBLOCK announcement, shared by reference
+/// between orderer copies (§IV-B: ⟨NEWBLOCK, n, B, G(B), A, o, h⟩).
+#[derive(Debug)]
+pub struct BlockBundle {
+    /// The block `B` with sequence number `n` and hash link `h` inside
+    /// its header.
+    pub block: parblock_types::Block,
+    /// `G(B)` — present in OXII; `None` in OX and XOV.
+    pub graph: Option<DependencyGraph>,
+    /// `H(B)`, the hash executors quorum-match on.
+    pub hash: Hash32,
+}
+
+/// The result of executing one transaction on an agent.
+///
+/// Matching results are counted against τ(A) (Algorithm 3); an abort is
+/// the paper's `(x, "abort")` pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecResult {
+    /// Valid execution with the resulting record updates.
+    Committed(Vec<(Key, Value)>),
+    /// Invalid at the application level (reason kept for diagnostics; two
+    /// aborts match regardless of reason, as honest agents agree anyway).
+    Aborted(String),
+}
+
+impl ExecResult {
+    /// Whether two results "match" for quorum purposes.
+    #[must_use]
+    pub fn matches(&self, other: &ExecResult) -> bool {
+        match (self, other) {
+            (ExecResult::Committed(a), ExecResult::Committed(b)) => a == b,
+            (ExecResult::Aborted(_), ExecResult::Aborted(_)) => true,
+            _ => false,
+        }
+    }
+}
+
+/// An executor's COMMIT message (§IV-C, Algorithm 2): the accumulated
+/// execution results `S = {(x, r)}` since its last cut.
+#[derive(Debug)]
+pub struct CommitMsg {
+    /// The block the results belong to.
+    pub block: BlockNumber,
+    /// Results per in-block position.
+    pub results: Vec<(SeqNo, ExecResult)>,
+    /// The executing agent.
+    pub executor: NodeId,
+    /// Signature over the results digest.
+    pub sig: Signature,
+}
+
+/// An XOV endorsement envelope: the endorser's simulated execution
+/// results, carried inside the ordered transaction's payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Read set with the versions observed at endorsement time (`None`
+    /// for keys absent from the endorser's state).
+    pub read_versions: Vec<(Key, Option<parblock_ledger::Version>)>,
+    /// The proposed writes.
+    pub writes: Vec<(Key, Value)>,
+}
+
+/// Every message exchanged in a simulated cluster.
+#[derive(Debug, Clone)]
+pub enum Msg {
+    /// Client REQUEST: ⟨REQUEST, op, A, ts_c, c⟩ signed by the client.
+    Request {
+        /// The transaction (operation, app, client timestamp).
+        tx: Transaction,
+        /// Client signature over the transaction bytes.
+        sig: Signature,
+    },
+    /// Orderer ↔ orderer consensus traffic.
+    Cons(ConsMsg),
+    /// NEWBLOCK from one orderer (bundle shared across orderer copies).
+    NewBlock {
+        /// The announced block (+ graph in OXII).
+        bundle: Arc<BlockBundle>,
+        /// The announcing orderer.
+        orderer: NodeId,
+        /// Orderer signature over the block hash.
+        sig: Signature,
+    },
+    /// OXII executor COMMIT message.
+    Commit(Arc<CommitMsg>),
+    /// XOV: client asks an endorser to simulate a transaction.
+    EndorseReq {
+        /// The original transaction.
+        tx: Transaction,
+    },
+    /// XOV: an endorser's reply.
+    Endorsement {
+        /// The endorsed transaction's id.
+        tx: parblock_types::TxId,
+        /// The simulated results.
+        envelope: Envelope,
+        /// The endorsing peer.
+        endorser: NodeId,
+        /// Endorser signature over the envelope digest.
+        sig: Signature,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exec_results_match_by_content() {
+        let a = ExecResult::Committed(vec![(Key(1), Value::Int(1))]);
+        let b = ExecResult::Committed(vec![(Key(1), Value::Int(1))]);
+        let c = ExecResult::Committed(vec![(Key(1), Value::Int(2))]);
+        assert!(a.matches(&b));
+        assert!(!a.matches(&c));
+        let x = ExecResult::Aborted("one reason".into());
+        let y = ExecResult::Aborted("another".into());
+        assert!(x.matches(&y));
+        assert!(!a.matches(&x));
+    }
+}

@@ -1,0 +1,228 @@
+//! The orderer node: consensus hosting, request admission, block cutting,
+//! dependency-graph generation and NEWBLOCK multicast (§III-A, §IV-B).
+//!
+//! One implementation serves all three systems: OXII orderers attach a
+//! dependency graph to each block; OX and XOV orderers do not.
+
+use std::collections::HashSet;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parblock_consensus::{Action, OrderingProtocol};
+use parblock_crypto::hash_wire;
+use parblock_depgraph::{DependencyGraph, DependencyMode};
+use parblock_ledger::Ledger;
+use parblock_net::Endpoint;
+use parblock_types::wire::Wire;
+use parblock_types::{Block, BlockNumber, Hash32, NodeId, Transaction, TxId};
+
+use crate::batch::Payload;
+use crate::cutter::BlockCutter;
+use crate::hostcons::{AnyConsensus, TimerTable};
+use crate::msg::{BlockBundle, ConsMsg, Msg};
+use crate::shared::Shared;
+
+/// How often buffered requests are flushed into a consensus batch.
+const BATCH_INTERVAL: Duration = Duration::from_millis(1);
+/// Idle receive timeout (stop-flag poll granularity).
+const IDLE_TICK: Duration = Duration::from_micros(500);
+
+pub(crate) struct Orderer {
+    shared: Arc<Shared>,
+    endpoint: Endpoint<Msg>,
+    protocol: AnyConsensus,
+    graph_mode: Option<DependencyMode>,
+    cutter: BlockCutter,
+    timers: TimerTable,
+    batch: Vec<Transaction>,
+    last_flush: Instant,
+    marker_sent: Option<Instant>,
+    seen: HashSet<TxId>,
+    prev_hash: Hash32,
+    next_number: BlockNumber,
+    dests: Vec<NodeId>,
+}
+
+impl Orderer {
+    pub(crate) fn new(
+        shared: Arc<Shared>,
+        endpoint: Endpoint<Msg>,
+        protocol: AnyConsensus,
+        graph_mode: Option<DependencyMode>,
+    ) -> Self {
+        let cutter = BlockCutter::new(shared.spec.block_cut.clone());
+        let dests = shared.spec.peer_ids();
+        Orderer {
+            shared,
+            endpoint,
+            protocol,
+            graph_mode,
+            cutter,
+            timers: TimerTable::new(),
+            batch: Vec::new(),
+            last_flush: Instant::now(),
+            marker_sent: None,
+            seen: HashSet::new(),
+            prev_hash: Ledger::genesis_hash(),
+            next_number: BlockNumber(1),
+            dests,
+        }
+    }
+
+    pub(crate) fn run(mut self) {
+        while !self.shared.stop.load(Ordering::Relaxed) {
+            let wait = self
+                .timers
+                .next_deadline()
+                .map(|d| d.saturating_duration_since(Instant::now()))
+                .unwrap_or(IDLE_TICK)
+                .min(IDLE_TICK);
+            if let Ok(envelope) = self.endpoint.recv_timeout(wait) {
+                self.on_msg(envelope.from, envelope.msg);
+                // Drain whatever else is queued before housekeeping.
+                while let Some(envelope) = self.endpoint.try_recv() {
+                    self.on_msg(envelope.from, envelope.msg);
+                }
+            }
+            for timer in self.timers.take_expired() {
+                let actions = self.protocol.on_timer(timer);
+                self.apply(actions);
+            }
+            self.flush_batch_if_due();
+            self.order_time_cut_if_due();
+        }
+    }
+
+    fn on_msg(&mut self, from: NodeId, msg: Msg) {
+        match msg {
+            Msg::Request { tx, sig } => {
+                // §III-A: orderers check signatures and access rights and
+                // simply discard invalid requests.
+                let signer = self.shared.spec.client_signer(tx.client());
+                if !self.shared.keys.verify(signer, &tx.wire_bytes(), &sig) {
+                    return;
+                }
+                if self
+                    .shared
+                    .registry
+                    .check_access(tx.client(), tx.app())
+                    .is_err()
+                {
+                    return;
+                }
+                self.batch.push(tx);
+            }
+            Msg::Cons(m) => {
+                let actions = self.protocol.on_message(from, m);
+                self.apply(actions);
+            }
+            // Orderers "do not have access to any smart contract or the
+            // application state" (§III-A): everything else is not theirs.
+            _ => {}
+        }
+    }
+
+    fn apply(&mut self, actions: Vec<Action<ConsMsg>>) {
+        self.timers.absorb(&actions);
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => self.endpoint.send(to, Msg::Cons(msg)),
+                Action::Broadcast { msg } => {
+                    let peers = self.shared.spec.orderer_ids();
+                    self.endpoint.multicast(peers.iter(), &Msg::Cons(msg));
+                }
+                Action::Deliver { payload, .. } => self.on_delivery(&payload),
+                Action::SetTimer { .. } | Action::CancelTimer { .. } => {}
+            }
+        }
+    }
+
+    fn on_delivery(&mut self, payload: &[u8]) {
+        match Payload::decode(payload) {
+            Some(Payload::Batch(txs)) => {
+                for tx in txs {
+                    // Exactly-once: client timestamps deduplicate
+                    // deterministic re-proposals after view changes.
+                    if !self.seen.insert(tx.id()) {
+                        continue;
+                    }
+                    if let Some(full) = self.cutter.push(tx) {
+                        self.emit_block(full);
+                    }
+                }
+            }
+            Some(Payload::CutMarker) => {
+                self.marker_sent = None;
+                if let Some(full) = self.cutter.cut_marker() {
+                    self.emit_block(full);
+                }
+            }
+            None => { /* malformed payload from a faulty orderer: skip */ }
+        }
+    }
+
+    fn emit_block(&mut self, txs: Vec<Transaction>) {
+        let block = Block::new(self.next_number, self.prev_hash, txs);
+        let hash = hash_wire(&block);
+        let graph = self
+            .graph_mode
+            .map(|mode| DependencyGraph::build(&block, mode));
+        let bundle = Arc::new(BlockBundle { block, graph, hash });
+        let signer = self.shared.spec.node_signer(self.endpoint.id());
+        let sig = self.shared.keys.sign(signer, &hash.0);
+        let msg = Msg::NewBlock {
+            bundle,
+            orderer: self.endpoint.id(),
+            sig,
+        };
+        self.endpoint.multicast(self.dests.iter(), &msg);
+        self.prev_hash = hash;
+        self.next_number = self.next_number.next();
+    }
+
+    fn flush_batch_if_due(&mut self) {
+        if self.batch.is_empty() {
+            return;
+        }
+        let due = self.batch.len() >= self.shared.spec.batch_max
+            || self.last_flush.elapsed() >= BATCH_INTERVAL;
+        if due {
+            let txs = std::mem::take(&mut self.batch);
+            let payload = Payload::Batch(txs).encode();
+            let actions = self.protocol.submit(payload);
+            self.apply(actions);
+            self.last_flush = Instant::now();
+        }
+    }
+
+    /// §IV-B: the time-based cut condition is made deterministic by the
+    /// leader ordering an explicit cut-block marker.
+    fn order_time_cut_if_due(&mut self) {
+        if !self.protocol.is_leader() || !self.cutter.wants_time_cut() {
+            return;
+        }
+        let resend_due = self
+            .marker_sent
+            .is_none_or(|at| at.elapsed() > self.shared.spec.block_cut.max_wait);
+        if resend_due {
+            self.marker_sent = Some(Instant::now());
+            let actions = self.protocol.submit(Payload::CutMarker.encode());
+            self.apply(actions);
+        }
+    }
+}
+
+/// Spawns an orderer thread.
+pub(crate) fn spawn_orderer(
+    shared: Arc<Shared>,
+    endpoint: Endpoint<Msg>,
+    protocol: AnyConsensus,
+    graph_mode: Option<DependencyMode>,
+) -> std::thread::JoinHandle<()> {
+    let name = format!("orderer-{}", endpoint.id());
+    std::thread::Builder::new()
+        .name(name)
+        .spawn(move || Orderer::new(shared, endpoint, protocol, graph_mode).run())
+        .expect("spawn orderer")
+}

@@ -1,0 +1,511 @@
+//! ParBlockchain's execution phase (§IV-C): executor nodes running the
+//! three concurrent procedures.
+//!
+//! * **Algorithm 1** — execute the transactions this node is an agent for,
+//!   following the dependency graph: a transaction runs once all its
+//!   predecessors are locally executed or committed.
+//! * **Algorithm 2** — buffer execution results and multicast a COMMIT
+//!   message when a result is needed by another application's agents
+//!   (a successor across the application cut), or when the node's share
+//!   of the block is finished.
+//! * **Algorithm 3** — collect COMMIT messages, and once τ(A) matching
+//!   results arrive for a transaction, apply them to the blockchain
+//!   state.
+//!
+//! The same node implementation serves *non-executor* peers (agents of no
+//! application): they only run Algorithm 3.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::never;
+use parblock_crypto::Signature;
+use parblock_ledger::{KvState, Ledger, Version};
+use parblock_net::Endpoint;
+use parblock_types::{BlockNumber, Hash32, NodeId, SeqNo, TxId};
+
+use crate::msg::{BlockBundle, CommitMsg, ExecResult, Msg};
+use crate::pool::{Completion, ExecPool, SnapshotReader, WorkItem};
+use crate::quorum::NewBlockQuorum;
+use crate::shared::Shared;
+
+/// Stop-flag poll granularity.
+const IDLE_TICK: Duration = Duration::from_micros(500);
+
+/// Per-block execution state on one executor.
+struct BlockRun {
+    bundle: Arc<BlockBundle>,
+    tracker: parblock_depgraph::ReadyTracker,
+    /// `We`: positions this node executes (it is an agent of their app).
+    we: Vec<bool>,
+    /// Result votes per position: `(agent, result)`, deduplicated per
+    /// agent. Our own result is voted like any other agent's.
+    votes: HashMap<SeqNo, Vec<(NodeId, ExecResult)>>,
+    /// Locally executed positions (the set `Xe`).
+    executed: Vec<bool>,
+    /// Committed positions (the set `Ce`).
+    committed: Vec<bool>,
+    committed_count: usize,
+    /// Algorithm 2 buffer: executed results not yet multicast.
+    xe_buffer: Vec<(SeqNo, ExecResult)>,
+    /// Outstanding local executions.
+    we_remaining: usize,
+}
+
+/// The executor node (and passive peer) runtime.
+pub(crate) struct Executor {
+    shared: Arc<Shared>,
+    endpoint: Endpoint<Msg>,
+    pool: ExecPool,
+    state: KvState,
+    ledger: Ledger,
+    /// NEWBLOCK admission (verification + quorum counting).
+    admission: NewBlockQuorum,
+    /// Blocks that reached quorum, waiting their turn.
+    ready: BTreeMap<u64, Arc<BlockBundle>>,
+    /// COMMIT messages for blocks not yet started.
+    held_commits: BTreeMap<u64, Vec<Arc<CommitMsg>>>,
+    current: Option<BlockRun>,
+    is_observer: bool,
+    /// Peers that receive this node's COMMIT messages.
+    commit_dests: Vec<NodeId>,
+}
+
+impl Executor {
+    pub(crate) fn new(shared: Arc<Shared>, endpoint: Endpoint<Msg>) -> Self {
+        let state = KvState::with_genesis(shared.genesis.iter().cloned());
+        let is_observer = endpoint.id() == shared.spec.observer();
+        let commit_dests = shared.spec.peer_ids();
+        let pool = ExecPool::new(shared.spec.exec_pool);
+        let admission = NewBlockQuorum::new(shared.spec.newblock_quorum());
+        Executor {
+            shared,
+            endpoint,
+            pool,
+            state,
+            ledger: Ledger::new(),
+            admission,
+            ready: BTreeMap::new(),
+            held_commits: BTreeMap::new(),
+            current: None,
+            is_observer,
+            commit_dests,
+        }
+    }
+
+    pub(crate) fn run(mut self) {
+        loop {
+            if self.shared.stop.load(Ordering::Relaxed) {
+                break;
+            }
+            // Select over the network and the pool without borrowing self
+            // across the handler calls.
+            enum Event {
+                Net(parblock_net::Envelope<Msg>),
+                Done(Completion),
+                Idle,
+            }
+            let event = {
+                let net = self.endpoint.receiver();
+                let done = if self.current.is_some() {
+                    self.pool.completions().clone()
+                } else {
+                    never()
+                };
+                crossbeam::select! {
+                    recv(net) -> msg => msg.map(Event::Net).unwrap_or(Event::Idle),
+                    recv(done) -> c => c.map(Event::Done).unwrap_or(Event::Idle),
+                    default(IDLE_TICK) => Event::Idle,
+                }
+            };
+            match event {
+                Event::Net(envelope) => self.on_msg(envelope.from, envelope.msg),
+                Event::Done(completion) => self.on_completion(completion),
+                Event::Idle => {}
+            }
+        }
+        self.pool.shutdown();
+    }
+
+    fn on_msg(&mut self, from: NodeId, msg: Msg) {
+        match msg {
+            Msg::NewBlock {
+                bundle,
+                orderer,
+                sig,
+            } => self.on_new_block(from, bundle, orderer, &sig),
+            Msg::Commit(commit) => self.on_commit_msg(&commit),
+            _ => {}
+        }
+    }
+
+    // ---- NEWBLOCK handling (§IV-C: wait for the specified number of
+    // matching new-block messages) --------------------------------------
+
+    fn on_new_block(
+        &mut self,
+        from: NodeId,
+        bundle: Arc<BlockBundle>,
+        orderer: NodeId,
+        sig: &Signature,
+    ) {
+        let next_needed = self.ledger.next_number().0;
+        if let Some(validated) =
+            self.admission
+                .admit(&self.shared, from, bundle, orderer, sig, next_needed)
+        {
+            self.ready.insert(validated.block.number().0, validated);
+            self.maybe_start_next();
+        }
+    }
+
+    fn maybe_start_next(&mut self) {
+        if self.current.is_some() {
+            return;
+        }
+        let next = self.ledger.next_number().0;
+        let Some(bundle) = self.ready.remove(&next) else {
+            return;
+        };
+        self.start_block(bundle);
+    }
+
+    fn start_block(&mut self, bundle: Arc<BlockBundle>) {
+        let graph = bundle
+            .graph
+            .clone()
+            .expect("OXII NEWBLOCK always carries a dependency graph");
+        let n = bundle.block.len();
+        let me = self.endpoint.id();
+        let mut we = vec![false; n];
+        let mut we_remaining = 0;
+        for (seq, tx) in bundle.block.iter_seq() {
+            if self.shared.registry.is_agent(me, tx.app()) {
+                we[seq.0 as usize] = true;
+                we_remaining += 1;
+            }
+        }
+        let tracker = parblock_depgraph::ReadyTracker::new(&graph);
+        let mut run = BlockRun {
+            bundle,
+            tracker,
+            we,
+            votes: HashMap::new(),
+            executed: vec![false; n],
+            committed: vec![false; n],
+            committed_count: 0,
+            xe_buffer: Vec::new(),
+            we_remaining,
+        };
+        let initial = run.tracker.take_ready();
+        self.current = Some(run);
+        self.dispatch_ready(&initial);
+        // Replay commit messages that arrived early.
+        let number = self.current_number().expect("just started").0;
+        if let Some(held) = self.held_commits.remove(&number) {
+            for commit in held {
+                self.on_commit_msg(&commit);
+            }
+        }
+        self.finish_block_if_done();
+    }
+
+    fn current_number(&self) -> Option<BlockNumber> {
+        self.current.as_ref().map(|r| r.bundle.block.number())
+    }
+
+    // ---- Algorithm 1: execution following the dependency graph --------
+
+    fn dispatch_ready(&mut self, ready: &[SeqNo]) {
+        let Some(run) = self.current.as_ref() else {
+            return;
+        };
+        let block_number = run.bundle.block.number();
+        let cost = self.shared.spec.costs.per_tx;
+        let mut items = Vec::new();
+        for &seq in ready {
+            if !run.we[seq.0 as usize] || run.executed[seq.0 as usize] {
+                continue;
+            }
+            let tx = run.bundle.block.tx(seq).expect("seq valid").clone();
+            let Ok(contract) = self.shared.registry.contract(tx.app()) else {
+                continue;
+            };
+            // Snapshot the declared read set from the current state
+            // (predecessor writes are already applied — the graph
+            // guarantees it).
+            let mut snapshot = HashMap::new();
+            for key in tx.rw_set().reads() {
+                snapshot.insert(*key, self.state.get(*key));
+            }
+            items.push(WorkItem {
+                block: block_number,
+                seq,
+                tx,
+                snapshot: SnapshotReader::new(snapshot),
+                contract: Arc::clone(contract),
+                cost,
+            });
+        }
+        for item in items {
+            self.pool.dispatch(item);
+        }
+    }
+
+    fn on_completion(&mut self, completion: Completion) {
+        let Some(run) = self.current.as_mut() else {
+            return;
+        };
+        if completion.block != run.bundle.block.number() {
+            return; // stale completion from an abandoned run
+        }
+        let seq = completion.seq;
+        let idx = seq.0 as usize;
+        if run.executed[idx] {
+            return;
+        }
+        run.executed[idx] = true;
+        run.we_remaining -= 1;
+        // Apply own writes immediately (deterministic across agents), so
+        // successors read them (Xe semantics of Algorithm 1).
+        if let ExecResult::Committed(writes) = &completion.result {
+            let version = Version::new(completion.block, seq);
+            self.state.apply_versioned(writes.iter().cloned(), version);
+        }
+        run.xe_buffer.push((seq, completion.result.clone()));
+
+        // Algorithm 2: multicast when another application needs this
+        // result, or when our share of the block is complete. The
+        // per-transaction alternative (ablation) flushes every time.
+        let graph = run
+            .bundle
+            .graph
+            .as_ref()
+            .expect("OXII bundle carries graph");
+        let cut = match self.shared.spec.commit_flush {
+            crate::cluster::CommitFlush::Cut => {
+                graph.has_foreign_successor(seq) || run.we_remaining == 0
+            }
+            crate::cluster::CommitFlush::PerTransaction => true,
+        };
+        if cut {
+            self.flush_commit_buffer();
+        }
+
+        // Vote our own result (Algorithm 3 treats it like any agent's).
+        let me = self.endpoint.id();
+        self.record_vote(seq, me, completion.result);
+
+        // Xe membership releases successors for local execution.
+        let newly = self
+            .current
+            .as_mut()
+            .map(|r| r.tracker.complete(seq))
+            .unwrap_or_default();
+        self.dispatch_ready(&newly);
+        self.finish_block_if_done();
+    }
+
+    // ---- Algorithm 2: multicasting the results ------------------------
+
+    fn flush_commit_buffer(&mut self) {
+        let Some(run) = self.current.as_mut() else {
+            return;
+        };
+        if run.xe_buffer.is_empty() {
+            return;
+        }
+        let results = std::mem::take(&mut run.xe_buffer);
+        let block = run.bundle.block.number();
+        let me = self.endpoint.id();
+        let digest = commit_digest(block, &results);
+        let signer = self.shared.spec.node_signer(me);
+        let sig = self.shared.keys.sign(signer, &digest.0);
+        let msg = Msg::Commit(Arc::new(CommitMsg {
+            block,
+            results,
+            executor: me,
+            sig,
+        }));
+        self.endpoint.multicast(self.commit_dests.iter(), &msg);
+    }
+
+    // ---- Algorithm 3: updating the blockchain state -------------------
+
+    fn on_commit_msg(&mut self, commit: &Arc<CommitMsg>) {
+        let signer = self.shared.spec.node_signer(commit.executor);
+        let digest = commit_digest(commit.block, &commit.results);
+        if !self.shared.keys.verify(signer, &digest.0, &commit.sig) {
+            return;
+        }
+        let current = self.current_number();
+        match current {
+            Some(number) if commit.block == number => {}
+            _ => {
+                // Early (future block) or late (already finished): hold or
+                // drop respectively.
+                if commit.block.0 >= self.ledger.next_number().0 {
+                    self.held_commits
+                        .entry(commit.block.0)
+                        .or_default()
+                        .push(Arc::clone(commit));
+                }
+                return;
+            }
+        }
+        for (seq, result) in &commit.results {
+            // Algorithm 3 checks the sender is an agent of x's app.
+            let app = {
+                let run = self.current.as_ref().expect("checked above");
+                match run.bundle.block.tx(*seq) {
+                    Some(tx) => tx.app(),
+                    None => continue,
+                }
+            };
+            if !self.shared.registry.is_agent(commit.executor, app) {
+                continue;
+            }
+            self.record_vote(*seq, commit.executor, result.clone());
+        }
+        self.finish_block_if_done();
+    }
+
+    /// Records one agent's result for `seq`; commits the transaction once
+    /// τ(A) matching results are present.
+    fn record_vote(&mut self, seq: SeqNo, agent: NodeId, result: ExecResult) {
+        let Some(run) = self.current.as_mut() else {
+            return;
+        };
+        let idx = seq.0 as usize;
+        if run.committed[idx] {
+            return;
+        }
+        let votes = run.votes.entry(seq).or_default();
+        if votes.iter().any(|(a, _)| *a == agent) {
+            return; // one vote per agent
+        }
+        votes.push((agent, result));
+        let app = run
+            .bundle
+            .block
+            .tx(seq)
+            .expect("valid position")
+            .app();
+        let required = self.shared.spec.commit_policy().required(app);
+        // Find a result with enough matching votes.
+        let winner = votes
+            .iter()
+            .map(|(_, candidate)| {
+                (
+                    candidate,
+                    votes.iter().filter(|(_, r)| r.matches(candidate)).count(),
+                )
+            })
+            .find(|(_, count)| *count >= required)
+            .map(|(r, _)| r.clone());
+        if let Some(result) = winner {
+            self.commit_tx(seq, result);
+        }
+    }
+
+    fn commit_tx(&mut self, seq: SeqNo, result: ExecResult) {
+        let Some(run) = self.current.as_mut() else {
+            return;
+        };
+        let idx = seq.0 as usize;
+        if run.committed[idx] {
+            return;
+        }
+        run.committed[idx] = true;
+        run.committed_count += 1;
+        let block_number = run.bundle.block.number();
+        let tx_id: TxId = run.bundle.block.tx(seq).expect("valid").id();
+        let executed_locally = run.executed[idx];
+        match &result {
+            ExecResult::Committed(writes) => {
+                // Agents applied their own writes at execution time.
+                if !executed_locally {
+                    let version = Version::new(block_number, seq);
+                    self.state.apply_versioned(writes.iter().cloned(), version);
+                }
+                if self.is_observer {
+                    self.shared.metrics.record_commit(tx_id);
+                }
+            }
+            ExecResult::Aborted(_) => {
+                if self.is_observer {
+                    self.shared.metrics.record_abort(tx_id);
+                }
+            }
+        }
+        // Ce membership releases successors (Algorithm 1's Ce ∪ Xe).
+        let newly = self
+            .current
+            .as_mut()
+            .map(|r| r.tracker.complete(seq))
+            .unwrap_or_default();
+        self.dispatch_ready(&newly);
+    }
+
+    fn finish_block_if_done(&mut self) {
+        let done = self
+            .current
+            .as_ref()
+            .is_some_and(|run| run.committed_count == run.bundle.block.len());
+        if !done {
+            return;
+        }
+        let run = self.current.take().expect("checked");
+        // Flush any tail results that were not cut by a foreign successor
+        // (defensive: we_remaining == 0 normally flushed already).
+        debug_assert!(run.xe_buffer.is_empty());
+        self.ledger
+            .append(run.bundle.block.clone())
+            .expect("blocks arrive in order with verified hash links");
+        if self.is_observer {
+            self.shared.metrics.record_block();
+            if self.shared.spec.capture_state {
+                self.shared.metrics.set_state_digest(self.state.digest());
+            }
+        }
+        self.held_commits.remove(&run.bundle.block.number().0);
+        self.maybe_start_next();
+    }
+}
+
+/// Digest of a COMMIT message's contents (signed by the executor).
+fn commit_digest(block: BlockNumber, results: &[(SeqNo, ExecResult)]) -> Hash32 {
+    use parblock_types::wire::Wire;
+    let mut bytes = Vec::new();
+    block.0.encode(&mut bytes);
+    for (seq, result) in results {
+        u64::from(seq.0).encode(&mut bytes);
+        match result {
+            ExecResult::Committed(writes) => {
+                0u8.encode(&mut bytes);
+                (writes.len() as u64).encode(&mut bytes);
+                for (key, value) in writes {
+                    key.0.encode(&mut bytes);
+                    // Value encoding for digest purposes only.
+                    format!("{value:?}").as_str().encode(&mut bytes);
+                }
+            }
+            ExecResult::Aborted(_) => 1u8.encode(&mut bytes),
+        }
+    }
+    parblock_crypto::sha256(&bytes)
+}
+
+/// Spawns an OXII executor (or passive peer) thread.
+pub(crate) fn spawn_executor(
+    shared: Arc<Shared>,
+    endpoint: Endpoint<Msg>,
+) -> std::thread::JoinHandle<()> {
+    let name = format!("executor-{}", endpoint.id());
+    std::thread::Builder::new()
+        .name(name)
+        .spawn(move || Executor::new(shared, endpoint).run())
+        .expect("spawn executor")
+}

@@ -1,0 +1,203 @@
+//! The executor-side worker pool: parallel contract execution against
+//! per-transaction read snapshots.
+//!
+//! The executor's main thread owns the blockchain state. When a
+//! transaction becomes ready it snapshots the declared read set and hands
+//! the work item to the pool; workers model the execution cost as a timed
+//! wait (see DESIGN.md §3), run the contract, and report the result back
+//! on a channel the main loop selects on.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use parblock_contracts::{ExecOutcome, SmartContract, StateReader};
+use parblock_types::{BlockNumber, Key, SeqNo, Transaction, Value};
+
+use crate::msg::ExecResult;
+
+/// A read view over a snapshot taken by the executor's main thread.
+#[derive(Debug, Clone)]
+pub(crate) struct SnapshotReader {
+    values: HashMap<Key, Value>,
+}
+
+impl SnapshotReader {
+    pub(crate) fn new(values: HashMap<Key, Value>) -> Self {
+        SnapshotReader { values }
+    }
+}
+
+impl StateReader for SnapshotReader {
+    fn read(&self, key: Key) -> Value {
+        self.values.get(&key).cloned().unwrap_or_default()
+    }
+}
+
+/// One unit of work: execute `tx` against `snapshot`.
+pub(crate) struct WorkItem {
+    pub block: BlockNumber,
+    pub seq: SeqNo,
+    pub tx: Transaction,
+    pub snapshot: SnapshotReader,
+    pub contract: Arc<dyn SmartContract>,
+    pub cost: Duration,
+}
+
+/// A completed execution.
+pub(crate) struct Completion {
+    pub block: BlockNumber,
+    pub seq: SeqNo,
+    pub result: ExecResult,
+}
+
+/// A fixed pool of execution workers.
+pub(crate) struct ExecPool {
+    work_tx: Option<Sender<WorkItem>>,
+    done_rx: Receiver<Completion>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ExecPool {
+    pub(crate) fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (work_tx, work_rx) = unbounded::<WorkItem>();
+        let (done_tx, done_rx) = unbounded::<Completion>();
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let work_rx = work_rx.clone();
+            let done_tx = done_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("exec-worker-{i}"))
+                .spawn(move || {
+                    while let Ok(item) = work_rx.recv() {
+                        if !item.cost.is_zero() {
+                            std::thread::sleep(item.cost);
+                        }
+                        let result = match item.contract.execute(&item.tx, &item.snapshot) {
+                            ExecOutcome::Commit(writes) => ExecResult::Committed(writes),
+                            ExecOutcome::Abort(reason) => ExecResult::Aborted(reason),
+                        };
+                        let _ = done_tx.send(Completion {
+                            block: item.block,
+                            seq: item.seq,
+                            result,
+                        });
+                    }
+                })
+                .expect("spawn exec worker");
+            handles.push(handle);
+        }
+        ExecPool {
+            work_tx: Some(work_tx),
+            done_rx,
+            handles,
+        }
+    }
+
+    pub(crate) fn dispatch(&self, item: WorkItem) {
+        self.work_tx
+            .as_ref()
+            .expect("pool running")
+            .send(item)
+            .expect("workers alive");
+    }
+
+    pub(crate) fn completions(&self) -> &Receiver<Completion> {
+        &self.done_rx
+    }
+
+    /// Stops the workers (drops the work channel and joins).
+    pub(crate) fn shutdown(mut self) {
+        self.work_tx = None;
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ExecPool {
+    fn drop(&mut self) {
+        // Closing the channel lets workers exit; joining here would risk
+        // blocking in a destructor (C-DTOR-BLOCK), so we only signal.
+        self.work_tx = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use parblock_contracts::{AccountingContract, AccountingOp};
+    use parblock_types::{AppId, ClientId};
+
+    use super::*;
+
+    #[test]
+    fn pool_executes_and_reports() {
+        let pool = ExecPool::new(2);
+        let contract = Arc::new(AccountingContract::new(AppId(0)));
+        let op = AccountingOp::Transfer {
+            from: Key(1),
+            to: Key(2),
+            amount: 5,
+        };
+        let tx = contract.transaction(ClientId(1), 0, &op);
+        let mut values = HashMap::new();
+        values.insert(Key(1), Value::Int(10));
+        pool.dispatch(WorkItem {
+            block: BlockNumber(1),
+            seq: SeqNo(0),
+            tx,
+            snapshot: SnapshotReader::new(values),
+            contract,
+            cost: Duration::from_micros(50),
+        });
+        let done = pool
+            .completions()
+            .recv_timeout(Duration::from_secs(1))
+            .expect("completion");
+        assert_eq!(done.seq, SeqNo(0));
+        match done.result {
+            ExecResult::Committed(writes) => {
+                assert_eq!(writes, vec![(Key(1), Value::Int(5)), (Key(2), Value::Int(5))]);
+            }
+            ExecResult::Aborted(r) => panic!("unexpected abort: {r}"),
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn snapshot_reader_defaults_to_unit() {
+        let reader = SnapshotReader::new(HashMap::new());
+        assert_eq!(reader.read(Key(9)), Value::Unit);
+    }
+
+    #[test]
+    fn aborts_propagate() {
+        let pool = ExecPool::new(1);
+        let contract = Arc::new(AccountingContract::new(AppId(0)));
+        let op = AccountingOp::Transfer {
+            from: Key(1),
+            to: Key(2),
+            amount: 5,
+        };
+        let tx = contract.transaction(ClientId(1), 0, &op);
+        // Empty snapshot: source account missing.
+        pool.dispatch(WorkItem {
+            block: BlockNumber(1),
+            seq: SeqNo(3),
+            tx,
+            snapshot: SnapshotReader::new(HashMap::new()),
+            contract,
+            cost: Duration::ZERO,
+        });
+        let done = pool
+            .completions()
+            .recv_timeout(Duration::from_secs(1))
+            .expect("completion");
+        assert!(matches!(done.result, ExecResult::Aborted(_)));
+        pool.shutdown();
+    }
+}

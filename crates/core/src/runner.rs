@@ -1,0 +1,276 @@
+//! The experiment runner: builds a cluster per the spec, applies load,
+//! and reports throughput/latency.
+//!
+//! # Measurement methodology
+//!
+//! Load is open-loop: the driver submits at a fixed rate regardless of
+//! backpressure, like the paper's "increasing number of clients until
+//! the end-to-end throughput is saturated". Throughput is committed
+//! transactions over the first-submit→last-commit window; latency is
+//! submit-at-client → commit-at-observer (the first executor), matching
+//! §V-C's "when the executors … receive enough number of matching
+//! results, the transaction is counted as committed". Points past
+//! saturation show queueing-inflated latency — that is the saturation
+//! knee the figures look for, not an artifact.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parblock_consensus::ProtocolConfig;
+use parblock_net::{NetworkBuilder, SimNetwork};
+
+use crate::cluster::{ClusterSpec, ConsensusKind, SystemKind};
+use crate::hostcons::AnyConsensus;
+use crate::metrics::RunReport;
+use crate::msg::Msg;
+use crate::shared::Shared;
+use crate::{driver, orderer, ox, oxii, xov};
+
+/// Offered load for one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadSpec {
+    /// Open-loop submission rate (transactions per second).
+    pub rate_tps: f64,
+    /// How long the driver submits.
+    pub duration: Duration,
+    /// Grace period after submission stops, letting in-flight
+    /// transactions commit before measurement ends.
+    pub drain: Duration,
+}
+
+impl Default for LoadSpec {
+    fn default() -> Self {
+        LoadSpec {
+            rate_tps: 1_000.0,
+            duration: Duration::from_secs(1),
+            drain: Duration::from_millis(800),
+        }
+    }
+}
+
+/// Runs one experiment: spins up the cluster described by `spec`,
+/// applies `load`, and returns the measured report.
+///
+/// # Panics
+///
+/// Panics on inconsistent specs (e.g. PBFT with fewer than 4 orderers) —
+/// these are configuration bugs, surfaced early.
+#[must_use]
+pub fn run(spec: &ClusterSpec, load: &LoadSpec) -> RunReport {
+    let shared = Shared::new(spec.clone());
+    let net: SimNetwork<Msg> = NetworkBuilder::new()
+        .topology(spec.build_topology())
+        .seed(spec.seed)
+        .build();
+
+    let mut handles: Vec<JoinHandle<()>> = Vec::new();
+
+    // Orderers.
+    let orderer_ids = spec.orderer_ids();
+    for &id in &orderer_ids {
+        let protocol_cfg = ProtocolConfig::new(id, orderer_ids.clone());
+        let protocol = match spec.consensus {
+            ConsensusKind::Sequencer => {
+                AnyConsensus::sequencer(protocol_cfg, spec.consensus_timeout)
+            }
+            ConsensusKind::Pbft => AnyConsensus::pbft(protocol_cfg, spec.consensus_timeout),
+        };
+        let graph_mode = match spec.system {
+            SystemKind::Oxii => Some(spec.depgraph_mode),
+            SystemKind::Ox | SystemKind::Xov => None,
+        };
+        handles.push(orderer::spawn_orderer(
+            Arc::clone(&shared),
+            net.endpoint(id),
+            protocol,
+            graph_mode,
+        ));
+    }
+
+    // Peers (executors + non-executors).
+    for &id in &spec.peer_ids() {
+        let endpoint = net.endpoint(id);
+        let handle = match spec.system {
+            SystemKind::Oxii => oxii::spawn_executor(Arc::clone(&shared), endpoint),
+            SystemKind::Ox => ox::spawn_peer(Arc::clone(&shared), endpoint),
+            SystemKind::Xov => xov::spawn_peer(Arc::clone(&shared), endpoint),
+        };
+        handles.push(handle);
+    }
+
+    // Client driver (runs on the caller thread).
+    let client_endpoint = net.endpoint(spec.client_node());
+    match spec.system {
+        SystemKind::Oxii | SystemKind::Ox => {
+            driver::run_driver(&shared, &client_endpoint, load.rate_tps, load.duration);
+        }
+        SystemKind::Xov => {
+            xov::run_xov_driver(&shared, &client_endpoint, load.rate_tps, load.duration);
+        }
+    }
+
+    // Let in-flight work drain, then stop everything.
+    std::thread::sleep(load.drain);
+    shared.stop.store(true, Ordering::Relaxed);
+    for handle in handles {
+        let _ = handle.join();
+    }
+    let messages = net.stats().sent();
+    net.shutdown();
+    let mut report = shared.metrics.report();
+    report.messages = messages;
+    report
+}
+
+/// Runs a *fixed-count* experiment: submits exactly `count` transactions
+/// at `rate_tps`, then waits (up to `timeout`) until the observer has
+/// processed all of them. Returns the report.
+///
+/// Used by correctness tests that compare final states across systems —
+/// the committed transaction *set* is identical run-to-run, so state
+/// digests are comparable.
+///
+/// # Panics
+///
+/// Panics for [`SystemKind::Xov`]: endorsement-phase timing makes an
+/// exact count guarantee meaningless there, and the state comparison is
+/// invalid anyway because XOV aborts conflicting transactions.
+#[must_use]
+pub fn run_fixed(spec: &ClusterSpec, count: usize, rate_tps: f64, timeout: Duration) -> RunReport {
+    assert!(
+        spec.system != SystemKind::Xov,
+        "run_fixed supports OX and OXII only"
+    );
+    let shared = Shared::new(spec.clone());
+    let net: SimNetwork<Msg> = NetworkBuilder::new()
+        .topology(spec.build_topology())
+        .seed(spec.seed)
+        .build();
+
+    let mut handles: Vec<JoinHandle<()>> = Vec::new();
+    let orderer_ids = spec.orderer_ids();
+    for &id in &orderer_ids {
+        let protocol_cfg = ProtocolConfig::new(id, orderer_ids.clone());
+        let protocol = match spec.consensus {
+            ConsensusKind::Sequencer => {
+                AnyConsensus::sequencer(protocol_cfg, spec.consensus_timeout)
+            }
+            ConsensusKind::Pbft => AnyConsensus::pbft(protocol_cfg, spec.consensus_timeout),
+        };
+        let graph_mode = match spec.system {
+            SystemKind::Oxii => Some(spec.depgraph_mode),
+            SystemKind::Ox | SystemKind::Xov => None,
+        };
+        handles.push(orderer::spawn_orderer(
+            Arc::clone(&shared),
+            net.endpoint(id),
+            protocol,
+            graph_mode,
+        ));
+    }
+    for &id in &spec.peer_ids() {
+        let endpoint = net.endpoint(id);
+        let handle = match spec.system {
+            SystemKind::Oxii => oxii::spawn_executor(Arc::clone(&shared), endpoint),
+            SystemKind::Ox => ox::spawn_peer(Arc::clone(&shared), endpoint),
+            SystemKind::Xov => unreachable!("rejected above"),
+        };
+        handles.push(handle);
+    }
+
+    let client_endpoint = net.endpoint(spec.client_node());
+    driver::run_driver_count(&shared, &client_endpoint, rate_tps, count);
+
+    let deadline = std::time::Instant::now() + timeout;
+    while shared.metrics.processed() < count as u64 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    shared.stop.store(true, Ordering::Relaxed);
+    for handle in handles {
+        let _ = handle.join();
+    }
+    let messages = net.stats().sent();
+    net.shutdown();
+    let mut report = shared.metrics.report();
+    report.messages = messages;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_load(rate: f64) -> LoadSpec {
+        LoadSpec {
+            rate_tps: rate,
+            duration: Duration::from_millis(400),
+            drain: Duration::from_millis(400),
+        }
+    }
+
+    fn quick_spec(system: SystemKind) -> ClusterSpec {
+        let mut spec = ClusterSpec::new(system);
+        spec.block_cut = parblock_types::BlockCutConfig {
+            max_txns: 20,
+            max_bytes: usize::MAX,
+            max_wait: Duration::from_millis(10),
+        };
+        spec.costs = parblock_types::ExecutionCosts::per_tx(Duration::from_micros(20));
+        spec.topology.intra = Duration::from_micros(50);
+        spec.exec_pool = 4;
+        spec
+    }
+
+    #[test]
+    fn oxii_end_to_end_commits_transactions() {
+        let report = run(&quick_spec(SystemKind::Oxii), &quick_load(500.0));
+        assert!(report.committed > 50, "committed = {}", report.committed);
+        assert!(report.blocks > 0);
+        assert_eq!(report.aborted, 0);
+        assert!(!report.latencies_us.is_empty());
+    }
+
+    #[test]
+    fn ox_end_to_end_commits_transactions() {
+        let report = run(&quick_spec(SystemKind::Ox), &quick_load(500.0));
+        assert!(report.committed > 50, "committed = {}", report.committed);
+        assert_eq!(report.aborted, 0);
+    }
+
+    #[test]
+    fn xov_end_to_end_commits_transactions() {
+        let report = run(&quick_spec(SystemKind::Xov), &quick_load(300.0));
+        assert!(report.committed > 30, "committed = {}", report.committed);
+    }
+
+    #[test]
+    fn xov_aborts_under_full_contention() {
+        let mut spec = quick_spec(SystemKind::Xov);
+        spec.workload.contention = 1.0;
+        let report = run(&spec, &quick_load(300.0));
+        assert!(
+            report.aborted > report.committed,
+            "committed={} aborted={}",
+            report.committed,
+            report.aborted
+        );
+    }
+
+    #[test]
+    fn oxii_does_not_abort_under_full_contention() {
+        let mut spec = quick_spec(SystemKind::Oxii);
+        spec.workload.contention = 1.0;
+        let report = run(&spec, &quick_load(300.0));
+        assert_eq!(report.aborted, 0);
+        assert!(report.committed > 30, "committed = {}", report.committed);
+    }
+
+    #[test]
+    fn oxii_with_pbft_ordering_works() {
+        let spec = quick_spec(SystemKind::Oxii).with_pbft();
+        let report = run(&spec, &quick_load(300.0));
+        assert!(report.committed > 30, "committed = {}", report.committed);
+    }
+}

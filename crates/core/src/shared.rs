@@ -1,0 +1,36 @@
+//! Context shared by every thread of a simulated cluster.
+
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+use parblock_contracts::AppRegistry;
+use parblock_crypto::KeyRegistry;
+use parblock_types::{Key, Value};
+use parblock_workload::WorkloadGen;
+
+use crate::cluster::ClusterSpec;
+use crate::metrics::Metrics;
+
+/// Immutable cluster-wide context, one `Arc` per thread.
+pub(crate) struct Shared {
+    pub spec: ClusterSpec,
+    pub registry: AppRegistry,
+    pub keys: KeyRegistry,
+    pub metrics: Metrics,
+    pub stop: Arc<AtomicBool>,
+    pub genesis: Vec<(Key, Value)>,
+}
+
+impl Shared {
+    pub(crate) fn new(spec: ClusterSpec) -> Arc<Self> {
+        let genesis = WorkloadGen::new(spec.workload_config()).genesis();
+        Arc::new(Shared {
+            registry: spec.registry(),
+            keys: spec.build_keys(),
+            metrics: Metrics::new(),
+            stop: Arc::new(AtomicBool::new(false)),
+            genesis,
+            spec,
+        })
+    }
+}

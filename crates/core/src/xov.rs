@@ -1,0 +1,475 @@
+//! The execute-order-validate (XOV) baseline: Hyperledger Fabric's
+//! paradigm (§II, Fig 1c).
+//!
+//! 1. The client sends its request to the endorsers of the application;
+//!    each endorser *simulates* the transaction against its current state
+//!    and returns the read versions and proposed writes.
+//! 2. The client assembles an envelope from a sufficient number of
+//!    matching endorsements and submits it to the ordering service.
+//! 3. Orderers sequence envelopes into blocks (no dependency graph).
+//! 4. Every peer validates each envelope in block order — stale read
+//!    versions (MVCC check) abort the transaction — and applies the
+//!    surviving writes.
+//!
+//! Contention therefore translates directly into validation aborts, which
+//! is the effect Figs 5–6 measure.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parblock_contracts::ExecOutcome;
+use parblock_crypto::{sha256, Signature};
+use parblock_ledger::{KvState, Ledger, Version};
+use parblock_net::Endpoint;
+use parblock_types::wire::{Reader, Wire};
+use parblock_types::{
+    BlockNumber, Hash32, Key, NodeId, SeqNo, Transaction, TxId, Value,
+};
+use parblock_workload::WorkloadGen;
+
+use crate::msg::{BlockBundle, Envelope, Msg};
+use crate::quorum::NewBlockQuorum;
+use crate::shared::Shared;
+
+const IDLE_TICK: Duration = Duration::from_micros(500);
+const TICK: Duration = Duration::from_millis(1);
+
+// ---- envelope wire format ---------------------------------------------
+
+fn encode_value(value: &Value, out: &mut Vec<u8>) {
+    match value {
+        Value::Unit => out.push(0),
+        Value::Int(i) => {
+            out.push(1);
+            i.encode(out);
+        }
+        Value::Text(s) => {
+            out.push(2);
+            s.as_str().encode(out);
+        }
+        Value::Bytes(b) => {
+            out.push(3);
+            b.encode(out);
+        }
+    }
+}
+
+fn decode_value(reader: &mut Reader<'_>) -> Option<Value> {
+    match reader.u8()? {
+        0 => Some(Value::Unit),
+        1 => Some(Value::Int(reader.i64()?)),
+        2 => Some(Value::Text(
+            String::from_utf8(reader.bytes()?.to_vec()).ok()?,
+        )),
+        3 => Some(Value::Bytes(reader.bytes()?.to_vec())),
+        _ => None,
+    }
+}
+
+impl Envelope {
+    /// Serializes the envelope into a transaction payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        (self.read_versions.len() as u64).encode(&mut out);
+        for (key, version) in &self.read_versions {
+            key.0.encode(&mut out);
+            match version {
+                None => out.push(0),
+                Some(v) => {
+                    out.push(1);
+                    v.block.0.encode(&mut out);
+                    v.seq.0.encode(&mut out);
+                }
+            }
+        }
+        (self.writes.len() as u64).encode(&mut out);
+        for (key, value) in &self.writes {
+            key.0.encode(&mut out);
+            encode_value(value, &mut out);
+        }
+        out
+    }
+
+    /// Deserializes an envelope from a transaction payload.
+    #[must_use]
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut reader = Reader::new(bytes);
+        let n_reads = usize::try_from(reader.u64()?).ok()?;
+        let mut read_versions = Vec::with_capacity(n_reads.min(4096));
+        for _ in 0..n_reads {
+            let key = Key(reader.u64()?);
+            let version = match reader.u8()? {
+                0 => None,
+                1 => Some(Version::new(
+                    BlockNumber(reader.u64()?),
+                    SeqNo(reader.u32()?),
+                )),
+                _ => return None,
+            };
+            read_versions.push((key, version));
+        }
+        let n_writes = usize::try_from(reader.u64()?).ok()?;
+        let mut writes = Vec::with_capacity(n_writes.min(4096));
+        for _ in 0..n_writes {
+            let key = Key(reader.u64()?);
+            writes.push((key, decode_value(&mut reader)?));
+        }
+        reader.is_exhausted().then_some(Envelope {
+            read_versions,
+            writes,
+        })
+    }
+
+    /// Digest for endorsement signatures and matching.
+    #[must_use]
+    pub fn digest(&self) -> Hash32 {
+        sha256(&self.encode())
+    }
+}
+
+// ---- peer (endorser + validator) ----------------------------------------
+
+/// An XOV peer: endorser for its applications, validator for all blocks.
+pub(crate) struct XovPeer {
+    shared: Arc<Shared>,
+    endpoint: Endpoint<Msg>,
+    state: KvState,
+    ledger: Ledger,
+    admission: NewBlockQuorum,
+    ready: BTreeMap<u64, Arc<BlockBundle>>,
+    is_observer: bool,
+}
+
+impl XovPeer {
+    pub(crate) fn new(shared: Arc<Shared>, endpoint: Endpoint<Msg>) -> Self {
+        let state = KvState::with_genesis(shared.genesis.iter().cloned());
+        let is_observer = endpoint.id() == shared.spec.observer();
+        let admission = NewBlockQuorum::new(shared.spec.newblock_quorum());
+        XovPeer {
+            shared,
+            endpoint,
+            state,
+            ledger: Ledger::new(),
+            admission,
+            ready: BTreeMap::new(),
+            is_observer,
+        }
+    }
+
+    pub(crate) fn run(mut self) {
+        while !self.shared.stop.load(Ordering::Relaxed) {
+            if let Ok(envelope) = self.endpoint.recv_timeout(IDLE_TICK) {
+                match envelope.msg {
+                    Msg::EndorseReq { tx } => self.endorse(envelope.from, tx),
+                    Msg::NewBlock {
+                        bundle,
+                        orderer,
+                        sig,
+                    } => self.on_new_block(envelope.from, bundle, orderer, &sig),
+                    _ => {}
+                }
+            }
+            self.validate_ready_blocks();
+        }
+    }
+
+    /// Phase 1: simulate the transaction and return the endorsement.
+    ///
+    /// Endorsers execute requests one at a time (the paper: "XOV can
+    /// execute 3 — the number of applications — transactions in
+    /// parallel", i.e. one per endorser).
+    fn endorse(&mut self, client_node: NodeId, tx: Transaction) {
+        let me = self.endpoint.id();
+        if !self.shared.registry.is_agent(me, tx.app()) {
+            return;
+        }
+        let per_tx = self.shared.spec.costs.per_tx;
+        if !per_tx.is_zero() {
+            std::thread::sleep(per_tx);
+        }
+        let Ok(contract) = self.shared.registry.contract(tx.app()) else {
+            return;
+        };
+        let writes = match contract.execute(&tx, &self.state) {
+            ExecOutcome::Commit(writes) => writes,
+            // Application-level rejection: endorse an empty write set; the
+            // client will still order it and validation will commit the
+            // no-op (Fabric endorsers would refuse; the difference does
+            // not affect the measured paths because the workload's
+            // transactions are balance-valid).
+            ExecOutcome::Abort(_) => Vec::new(),
+        };
+        let read_versions = tx
+            .rw_set()
+            .reads()
+            .iter()
+            .map(|k| (*k, self.state.version_of(*k)))
+            .collect();
+        let envelope = Envelope {
+            read_versions,
+            writes,
+        };
+        let signer = self.shared.spec.node_signer(me);
+        let sig = self.shared.keys.sign(signer, &envelope.digest().0);
+        self.endpoint.send(
+            client_node,
+            Msg::Endorsement {
+                tx: tx.id(),
+                envelope,
+                endorser: me,
+                sig,
+            },
+        );
+    }
+
+    fn on_new_block(
+        &mut self,
+        from: NodeId,
+        bundle: Arc<BlockBundle>,
+        orderer: NodeId,
+        sig: &Signature,
+    ) {
+        let next_needed = self.ledger.next_number().0;
+        if let Some(validated) =
+            self.admission
+                .admit(&self.shared, from, bundle, orderer, sig, next_needed)
+        {
+            self.ready.insert(validated.block.number().0, validated);
+        }
+    }
+
+    fn validate_ready_blocks(&mut self) {
+        loop {
+            let next = self.ledger.next_number().0;
+            let Some(bundle) = self.ready.remove(&next) else {
+                return;
+            };
+            self.validate_block(&bundle);
+        }
+    }
+
+    /// Phase 3: the MVCC validation pass (§II: Fabric "validates a
+    /// transaction … by checking the endorsement policy and read-write
+    /// conflicts and then updates the ledger").
+    fn validate_block(&mut self, bundle: &Arc<BlockBundle>) {
+        let per_block = self.shared.spec.costs.per_block;
+        if !per_block.is_zero() {
+            std::thread::sleep(per_block);
+        }
+        for (seq, tx) in bundle.block.iter_seq() {
+            let committed = Envelope::decode(tx.payload())
+                .filter(|env| {
+                    env.read_versions
+                        .iter()
+                        .all(|(key, version)| self.state.version_of(*key) == *version)
+                })
+                .map(|env| env.writes);
+            match committed {
+                Some(writes) => {
+                    let version = Version::new(bundle.block.number(), seq);
+                    self.state.apply(writes, version);
+                    if self.is_observer {
+                        self.shared.metrics.record_commit(tx.id());
+                    }
+                }
+                None => {
+                    if self.is_observer {
+                        self.shared.metrics.record_abort(tx.id());
+                    }
+                }
+            }
+        }
+        self.ledger
+            .append(bundle.block.clone())
+            .expect("blocks arrive in order with verified links");
+        if self.is_observer {
+            self.shared.metrics.record_block();
+            if self.shared.spec.capture_state {
+                self.shared.metrics.set_state_digest(self.state.digest());
+            }
+        }
+    }
+}
+
+// ---- client driver -------------------------------------------------------
+
+/// Pending endorsement collection at the client.
+struct PendingTx {
+    tx: Transaction,
+    votes: Vec<(NodeId, Envelope)>,
+}
+
+/// Runs the XOV client driver: rate-paced endorsement requests, envelope
+/// assembly, and submission to the orderers.
+pub(crate) fn run_xov_driver(
+    shared: &Arc<Shared>,
+    endpoint: &Endpoint<Msg>,
+    rate_tps: f64,
+    duration: Duration,
+) {
+    let mut gen = WorkloadGen::new(shared.spec.workload_config());
+    let mut buffer: std::collections::VecDeque<Transaction> = Default::default();
+    let mut pending: HashMap<TxId, PendingTx> = HashMap::new();
+    let entry = shared.spec.entry_orderer();
+    let per_tick = rate_tps * TICK.as_secs_f64();
+    let mut acc = 0.0f64;
+    let start = Instant::now();
+
+    while !shared.stop.load(Ordering::Relaxed) {
+        let in_submit_window = start.elapsed() < duration;
+        if !in_submit_window && pending.is_empty() {
+            break;
+        }
+        let tick_start = Instant::now();
+        if in_submit_window {
+            acc += per_tick;
+            let n = acc.floor() as usize;
+            acc -= n as f64;
+            for _ in 0..n {
+                let tx = match buffer.pop_front() {
+                    Some(tx) => tx,
+                    None => {
+                        buffer.extend(gen.window());
+                        buffer.pop_front().expect("window is non-empty")
+                    }
+                };
+                shared.metrics.record_submit(tx.id());
+                // Phase 1: ask every agent of the application.
+                for agent in shared.registry.agents(tx.app()) {
+                    endpoint.send(agent, Msg::EndorseReq { tx: tx.clone() });
+                }
+                pending.insert(tx.id(), PendingTx { tx, votes: Vec::new() });
+            }
+        }
+        // Phase 2: collect endorsements until the tick budget is spent.
+        while tick_start.elapsed() < TICK {
+            let wait = TICK.saturating_sub(tick_start.elapsed());
+            let Ok(envelope) = endpoint.recv_timeout(wait.max(Duration::from_micros(50))) else {
+                break;
+            };
+            let Msg::Endorsement {
+                tx: tx_id,
+                envelope: endorsement,
+                endorser,
+                sig,
+            } = envelope.msg
+            else {
+                continue;
+            };
+            let signer = shared.spec.node_signer(endorser);
+            if !shared.keys.verify(signer, &endorsement.digest().0, &sig) {
+                continue;
+            }
+            let Some(entry_state) = pending.get_mut(&tx_id) else {
+                continue;
+            };
+            if !shared.registry.is_agent(endorser, entry_state.tx.app()) {
+                continue;
+            }
+            if entry_state.votes.iter().any(|(a, _)| *a == endorser) {
+                continue;
+            }
+            entry_state.votes.push((endorser, endorsement));
+            let required = shared
+                .spec
+                .commit_policy()
+                .required(entry_state.tx.app());
+            // Enough matching endorsements → assemble and order.
+            let matched = entry_state
+                .votes
+                .iter()
+                .map(|(_, candidate)| {
+                    (
+                        candidate,
+                        entry_state
+                            .votes
+                            .iter()
+                            .filter(|(_, e)| e == candidate)
+                            .count(),
+                    )
+                })
+                .find(|(_, count)| *count >= required)
+                .map(|(e, _)| e.clone());
+            if let Some(envelope) = matched {
+                let pending_tx = pending.remove(&tx_id).expect("present");
+                let tx = pending_tx.tx;
+                let envelope_tx = Transaction::new(
+                    tx.app(),
+                    tx.client(),
+                    tx.id().client_ts,
+                    tx.rw_set().clone(),
+                    envelope.encode(),
+                );
+                let signer = shared.spec.client_signer(envelope_tx.client());
+                let sig = shared.keys.sign(signer, &envelope_tx.wire_bytes());
+                endpoint.send(entry, Msg::Request { tx: envelope_tx, sig });
+            }
+        }
+        // Give up on endorsements only when the run is over.
+        if !in_submit_window && start.elapsed() > duration + Duration::from_secs(5) {
+            break;
+        }
+    }
+}
+
+/// Spawns an XOV peer thread.
+pub(crate) fn spawn_peer(
+    shared: Arc<Shared>,
+    endpoint: Endpoint<Msg>,
+) -> std::thread::JoinHandle<()> {
+    let name = format!("xov-peer-{}", endpoint.id());
+    std::thread::Builder::new()
+        .name(name)
+        .spawn(move || XovPeer::new(shared, endpoint).run())
+        .expect("spawn xov peer")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_round_trip() {
+        let envelope = Envelope {
+            read_versions: vec![
+                (Key(1), None),
+                (Key(2), Some(Version::new(BlockNumber(3), SeqNo(4)))),
+            ],
+            writes: vec![
+                (Key(1), Value::Int(-9)),
+                (Key(5), Value::Unit),
+                (Key(6), Value::Text("hi".into())),
+                (Key(7), Value::Bytes(vec![1, 2])),
+            ],
+        };
+        assert_eq!(Envelope::decode(&envelope.encode()), Some(envelope));
+    }
+
+    #[test]
+    fn envelope_decode_rejects_garbage() {
+        assert_eq!(Envelope::decode(&[1, 2, 3]), None);
+        let mut bytes = Envelope {
+            read_versions: vec![],
+            writes: vec![(Key(1), Value::Int(1))],
+        }
+        .encode();
+        bytes.push(0); // trailing garbage
+        assert_eq!(Envelope::decode(&bytes), None);
+    }
+
+    #[test]
+    fn digest_changes_with_content() {
+        let a = Envelope {
+            read_versions: vec![(Key(1), None)],
+            writes: vec![],
+        };
+        let b = Envelope {
+            read_versions: vec![(Key(2), None)],
+            writes: vec![],
+        };
+        assert_ne!(a.digest(), b.digest());
+    }
+}

@@ -1,0 +1,62 @@
+//! Cryptographic primitives for the ParBlockchain reproduction.
+//!
+//! Everything here is implemented from scratch on top of the standard
+//! library: SHA-256 (validated against the NIST test vectors), HMAC-SHA256,
+//! a Merkle-root helper, and a *simulated* signature scheme.
+//!
+//! # Simulated signatures
+//!
+//! The paper assumes pairwise-authenticated channels and signed client /
+//! orderer / executor messages. A real deployment would use asymmetric
+//! signatures (e.g. ECDSA); this reproduction substitutes HMAC-SHA256 under
+//! a shared in-process [`KeyRegistry`], which provides the same
+//! authenticity property inside one simulation while costing a comparable
+//! per-message hash pass (see DESIGN.md §3).
+//!
+//! # Examples
+//!
+//! ```
+//! use parblock_crypto::{sha256, KeyRegistry, SignerId};
+//!
+//! let digest = sha256(b"abc");
+//! assert_eq!(
+//!     digest.to_hex(),
+//!     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+//! );
+//!
+//! let registry = KeyRegistry::deterministic(4);
+//! let sig = registry.sign(SignerId(2), b"hello");
+//! assert!(registry.verify(SignerId(2), b"hello", &sig));
+//! assert!(!registry.verify(SignerId(1), b"hello", &sig));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hmac;
+mod merkle;
+mod registry;
+mod sha256;
+
+pub use hmac::hmac_sha256;
+pub use merkle::merkle_root;
+pub use registry::{KeyRegistry, SecretKey, Signature, SignerId};
+pub use sha256::{sha256, Sha256};
+
+use parblock_types::wire::Wire;
+use parblock_types::Hash32;
+
+/// Hashes a [`Wire`]-encodable value (canonical bytes, then SHA-256).
+///
+/// # Examples
+///
+/// ```
+/// use parblock_crypto::hash_wire;
+/// use parblock_types::{AppId, ClientId, RwSet, Transaction};
+///
+/// let tx = Transaction::new(AppId(0), ClientId(1), 0, RwSet::default(), vec![]);
+/// assert_eq!(hash_wire(&tx), hash_wire(&tx.clone()));
+/// ```
+pub fn hash_wire<T: Wire + ?Sized>(value: &T) -> Hash32 {
+    sha256(&value.wire_bytes())
+}

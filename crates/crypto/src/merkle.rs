@@ -1,0 +1,96 @@
+//! Merkle root over a list of digests.
+//!
+//! Orderers batch transactions into blocks partly to "amortize the cost of
+//! cryptography" (§III-A); committing to a block by the Merkle root of its
+//! transaction hashes is the standard way to do that.
+
+use parblock_types::Hash32;
+
+use crate::sha256::Sha256;
+
+/// Computes the Merkle root of `leaves`.
+///
+/// Odd nodes at any level are paired with themselves (Bitcoin-style). An
+/// empty leaf list yields [`Hash32::ZERO`].
+///
+/// # Examples
+///
+/// ```
+/// use parblock_crypto::{merkle_root, sha256};
+/// use parblock_types::Hash32;
+///
+/// assert_eq!(merkle_root(&[]), Hash32::ZERO);
+/// let a = sha256(b"a");
+/// // A single leaf is its own root.
+/// assert_eq!(merkle_root(&[a]), a);
+/// ```
+#[must_use]
+pub fn merkle_root(leaves: &[Hash32]) -> Hash32 {
+    if leaves.is_empty() {
+        return Hash32::ZERO;
+    }
+    let mut level: Vec<Hash32> = leaves.to_vec();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            let left = pair[0];
+            let right = *pair.get(1).unwrap_or(&pair[0]);
+            let mut h = Sha256::new();
+            h.update(&left.0);
+            h.update(&right.0);
+            next.push(h.finalize());
+        }
+        level = next;
+    }
+    level[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::sha256;
+
+    fn leaves(n: usize) -> Vec<Hash32> {
+        (0..n).map(|i| sha256(&[i as u8])).collect()
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(merkle_root(&[]), Hash32::ZERO);
+    }
+
+    #[test]
+    fn single_leaf_is_root() {
+        let l = leaves(1);
+        assert_eq!(merkle_root(&l), l[0]);
+    }
+
+    #[test]
+    fn root_changes_with_any_leaf() {
+        let base = leaves(8);
+        let root = merkle_root(&base);
+        for i in 0..8 {
+            let mut tampered = base.clone();
+            tampered[i] = sha256(b"tampered");
+            assert_ne!(merkle_root(&tampered), root, "leaf {i}");
+        }
+    }
+
+    #[test]
+    fn root_depends_on_order() {
+        let mut l = leaves(4);
+        let root = merkle_root(&l);
+        l.swap(0, 1);
+        assert_ne!(merkle_root(&l), root);
+    }
+
+    #[test]
+    fn odd_levels_handled() {
+        for n in [2, 3, 5, 7, 9] {
+            let l = leaves(n);
+            // Deterministic and distinct from the (n-1)-leaf tree.
+            assert_eq!(merkle_root(&l), merkle_root(&l));
+            assert_ne!(merkle_root(&l), merkle_root(&l[..n - 1]));
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Scheduling views over a dependency graph.
+//!
+//! [`ReadyTracker`] is the executor-side data structure behind Algorithm 1:
+//! it tracks, per transaction, how many predecessors are still outstanding
+//! and surfaces transactions the moment they become executable.
+//! [`ExecutionLayers`] is an analytic view (level sets / critical path)
+//! used by the benchmarks to explain *why* a block parallelizes well or
+//! badly.
+
+use std::collections::VecDeque;
+
+use parblock_types::SeqNo;
+
+use crate::graph::DependencyGraph;
+
+/// Incremental ready-set tracker (Algorithm 1's condition
+/// "all Pre(x) are in Ce ∪ Xe").
+///
+/// The tracker is created over the whole block; transactions the local
+/// executor is *not* an agent for still flow through it, because their
+/// commits (Algorithm 3) release the successors this executor must run.
+///
+/// # Examples
+///
+/// ```
+/// use parblock_depgraph::{DependencyGraph, DependencyMode, ReadyTracker};
+/// use parblock_types::{AppId, SeqNo};
+///
+/// // 0 -> 1 -> 2 chain.
+/// let g = DependencyGraph::from_edges(
+///     vec![AppId(0); 3],
+///     &[(SeqNo(0), SeqNo(1)), (SeqNo(1), SeqNo(2))],
+///     DependencyMode::Full,
+/// );
+/// let mut ready = ReadyTracker::new(&g);
+/// assert_eq!(ready.take_ready(), vec![SeqNo(0)]);
+/// assert_eq!(ready.complete(SeqNo(0)), vec![SeqNo(1)]);
+/// assert_eq!(ready.complete(SeqNo(1)), vec![SeqNo(2)]);
+/// assert!(!ready.is_done());
+/// ready.complete(SeqNo(2));
+/// assert!(ready.is_done());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReadyTracker {
+    graph: DependencyGraph,
+    /// Outstanding predecessor count per position; `u32::MAX` = completed.
+    pending_preds: Vec<u32>,
+    /// Positions that became ready but have not been taken yet.
+    ready: VecDeque<SeqNo>,
+    completed: usize,
+}
+
+impl ReadyTracker {
+    /// Creates a tracker over `graph`; all roots are immediately ready.
+    #[must_use]
+    pub fn new(graph: &DependencyGraph) -> Self {
+        let n = graph.len();
+        let mut pending_preds = Vec::with_capacity(n);
+        let mut ready = VecDeque::new();
+        for i in 0..n {
+            let seq = SeqNo(i as u32);
+            let preds = graph.predecessors(seq).len() as u32;
+            pending_preds.push(preds);
+            if preds == 0 {
+                ready.push_back(seq);
+            }
+        }
+        ReadyTracker {
+            graph: graph.clone(),
+            pending_preds,
+            ready,
+            completed: 0,
+        }
+    }
+
+    /// Drains and returns every transaction that is currently ready.
+    pub fn take_ready(&mut self) -> Vec<SeqNo> {
+        self.ready.drain(..).collect()
+    }
+
+    /// Returns `true` when there are ready transactions waiting.
+    #[must_use]
+    pub fn has_ready(&self) -> bool {
+        !self.ready.is_empty()
+    }
+
+    /// Marks `x` complete (executed locally or committed from remote
+    /// results) and returns the successors that became ready.
+    ///
+    /// Completing a transaction twice is a no-op returning an empty list,
+    /// which makes the tracker idempotent under duplicate commit messages.
+    pub fn complete(&mut self, x: SeqNo) -> Vec<SeqNo> {
+        let idx = x.0 as usize;
+        if self.pending_preds[idx] == u32::MAX {
+            return Vec::new(); // already complete
+        }
+        self.pending_preds[idx] = u32::MAX;
+        self.completed += 1;
+        let mut newly = Vec::new();
+        for &succ in self.graph.successors(x) {
+            let s = succ.0 as usize;
+            if self.pending_preds[s] == u32::MAX {
+                continue;
+            }
+            self.pending_preds[s] -= 1;
+            if self.pending_preds[s] == 0 {
+                self.ready.push_back(succ);
+                newly.push(succ);
+            }
+        }
+        newly
+    }
+
+    /// Whether `x` has completed.
+    #[must_use]
+    pub fn is_complete(&self, x: SeqNo) -> bool {
+        self.pending_preds[x.0 as usize] == u32::MAX
+    }
+
+    /// Whether every transaction has completed.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.completed == self.pending_preds.len()
+    }
+
+    /// Number of completed transactions.
+    #[must_use]
+    pub fn completed_count(&self) -> usize {
+        self.completed
+    }
+}
+
+/// The level-set decomposition of a dependency graph: layer `k` holds the
+/// transactions whose longest incoming path has length `k`.
+///
+/// All transactions in one layer can execute in parallel; the number of
+/// layers is the critical-path length, the lower bound on parallel
+/// execution time in units of one transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecutionLayers {
+    layers: Vec<Vec<SeqNo>>,
+}
+
+impl ExecutionLayers {
+    /// Computes the layers of `graph`.
+    #[must_use]
+    pub fn compute(graph: &DependencyGraph) -> Self {
+        let n = graph.len();
+        let mut depth = vec![0usize; n];
+        // Positions are already topologically ordered (edges point
+        // forward), so a single left-to-right pass suffices.
+        for i in 0..n {
+            let seq = SeqNo(i as u32);
+            for &p in graph.predecessors(seq) {
+                depth[i] = depth[i].max(depth[p.0 as usize] + 1);
+            }
+        }
+        let max_depth = depth.iter().copied().max().map_or(0, |d| d + 1);
+        let mut layers = vec![Vec::new(); max_depth];
+        for (i, d) in depth.iter().enumerate() {
+            layers[*d].push(SeqNo(i as u32));
+        }
+        ExecutionLayers { layers }
+    }
+
+    /// The layers, outermost first.
+    #[must_use]
+    pub fn layers(&self) -> &[Vec<SeqNo>] {
+        &self.layers
+    }
+
+    /// Critical-path length in transactions (0 for an empty block).
+    ///
+    /// A no-contention block has 1; a full-contention chain has `n` —
+    /// exactly the paper's "the dependency graph of each block in the last
+    /// workload is a chain".
+    #[must_use]
+    pub fn critical_path(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The widest layer: the maximum achievable parallelism.
+    #[must_use]
+    pub fn max_width(&self) -> usize {
+        self.layers.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Average parallelism: transactions divided by critical path.
+    #[must_use]
+    pub fn avg_parallelism(&self) -> f64 {
+        if self.layers.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.layers.iter().map(Vec::len).sum();
+        total as f64 / self.layers.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use parblock_types::AppId;
+
+    use super::*;
+    use crate::builder::DependencyMode;
+
+    fn graph(n: usize, edges: &[(u32, u32)]) -> DependencyGraph {
+        let edges: Vec<_> = edges
+            .iter()
+            .map(|&(i, j)| (SeqNo(i), SeqNo(j)))
+            .collect();
+        DependencyGraph::from_edges(vec![AppId(0); n], &edges, DependencyMode::Full)
+    }
+
+    #[test]
+    fn tracker_runs_diamond_in_dependency_order() {
+        let g = graph(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let mut t = ReadyTracker::new(&g);
+        assert_eq!(t.take_ready(), vec![SeqNo(0)]);
+        let newly = t.complete(SeqNo(0));
+        assert_eq!(newly, vec![SeqNo(1), SeqNo(2)]);
+        assert!(t.complete(SeqNo(1)).is_empty()); // 3 still waits on 2
+        assert_eq!(t.complete(SeqNo(2)), vec![SeqNo(3)]);
+        t.complete(SeqNo(3));
+        assert!(t.is_done());
+        assert_eq!(t.completed_count(), 4);
+    }
+
+    #[test]
+    fn tracker_is_idempotent_under_duplicate_completion() {
+        let g = graph(2, &[(0, 1)]);
+        let mut t = ReadyTracker::new(&g);
+        t.take_ready();
+        assert_eq!(t.complete(SeqNo(0)), vec![SeqNo(1)]);
+        assert!(t.complete(SeqNo(0)).is_empty());
+        assert!(t.is_complete(SeqNo(0)));
+        assert!(!t.is_done());
+    }
+
+    #[test]
+    fn independent_block_is_fully_ready_at_once() {
+        let g = graph(5, &[]);
+        let mut t = ReadyTracker::new(&g);
+        assert_eq!(t.take_ready().len(), 5);
+        assert!(!t.has_ready());
+    }
+
+    #[test]
+    fn layers_of_chain_and_empty_and_independent() {
+        let chain = graph(4, &[(0, 1), (1, 2), (2, 3)]);
+        let l = ExecutionLayers::compute(&chain);
+        assert_eq!(l.critical_path(), 4);
+        assert_eq!(l.max_width(), 1);
+
+        let indep = graph(4, &[]);
+        let l = ExecutionLayers::compute(&indep);
+        assert_eq!(l.critical_path(), 1);
+        assert_eq!(l.max_width(), 4);
+        assert!((l.avg_parallelism() - 4.0).abs() < 1e-9);
+
+        let empty = graph(0, &[]);
+        let l = ExecutionLayers::compute(&empty);
+        assert_eq!(l.critical_path(), 0);
+        assert_eq!(l.max_width(), 0);
+        assert_eq!(l.avg_parallelism(), 0.0);
+    }
+
+    #[test]
+    fn layers_of_diamond() {
+        let g = graph(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let l = ExecutionLayers::compute(&g);
+        assert_eq!(l.layers().len(), 3);
+        assert_eq!(l.layers()[0], vec![SeqNo(0)]);
+        assert_eq!(l.layers()[1], vec![SeqNo(1), SeqNo(2)]);
+        assert_eq!(l.layers()[2], vec![SeqNo(3)]);
+    }
+}

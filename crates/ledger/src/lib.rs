@@ -1,0 +1,36 @@
+//! The blockchain ledger and state stores (§III-B).
+//!
+//! Each executor peer maintains: (1) the blockchain *ledger*, an
+//! append-only hash chain of blocks, and (2) the blockchain *state*, a
+//! datastore mapping keys to values. This crate provides both, plus the
+//! multi-version store sketched in §III-A's multi-version adaptation.
+//!
+//! * [`Ledger`] — hash-chained append-only block log with verification.
+//! * [`KvState`] — single-version store with per-key [`Version`] stamps;
+//!   the version stamps power XOV's read-set validation.
+//! * [`MvccState`] — multi-version store keeping the version history of
+//!   each key.
+//!
+//! # Examples
+//!
+//! ```
+//! use parblock_ledger::{KvState, Version};
+//! use parblock_types::{BlockNumber, Key, SeqNo, Value};
+//!
+//! let mut state = KvState::new();
+//! let v1 = Version::new(BlockNumber(1), SeqNo(0));
+//! state.put(Key(1001), Value::Int(100), v1);
+//! assert_eq!(state.get(Key(1001)), Value::Int(100));
+//! assert_eq!(state.version_of(Key(1001)), Some(v1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chain;
+mod kv;
+mod mvcc;
+
+pub use chain::{ChainError, Ledger};
+pub use kv::{KvState, Version};
+pub use mvcc::MvccState;

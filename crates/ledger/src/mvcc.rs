@@ -1,0 +1,181 @@
+//! A multi-version key-value store.
+//!
+//! §III-A: "The dependency graph generator … can also be adapted to a
+//! multi-version database system. In a multi-version database, each write
+//! creates a new version of a data item, and reads are directed to the
+//! correct version based on the position of the corresponding transaction
+//! in the block (log)."
+
+use std::collections::HashMap;
+
+use parblock_types::{Key, Value};
+
+use crate::kv::Version;
+
+/// A store keeping every written version of each key.
+///
+/// # Examples
+///
+/// ```
+/// use parblock_ledger::{MvccState, Version};
+/// use parblock_types::{BlockNumber, Key, SeqNo, Value};
+///
+/// let mut state = MvccState::new();
+/// let v1 = Version::new(BlockNumber(1), SeqNo(0));
+/// let v2 = Version::new(BlockNumber(1), SeqNo(5));
+/// state.put(Key(1), Value::Int(10), v1);
+/// state.put(Key(1), Value::Int(20), v2);
+/// // A reader positioned between the writes sees the first version.
+/// let between = Version::new(BlockNumber(1), SeqNo(3));
+/// assert_eq!(state.read_at(Key(1), between), Value::Int(10));
+/// assert_eq!(state.latest(Key(1)), Value::Int(20));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MvccState {
+    /// Version chains, each sorted ascending by version.
+    chains: HashMap<Key, Vec<(Version, Value)>>,
+}
+
+impl MvccState {
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a store pre-loaded with genesis values.
+    pub fn with_genesis<I: IntoIterator<Item = (Key, Value)>>(items: I) -> Self {
+        let mut state = Self::new();
+        for (k, v) in items {
+            state.put(k, v, Version::GENESIS);
+        }
+        state
+    }
+
+    /// Writes a new version of `key`.
+    ///
+    /// Versions may arrive out of order (parallel executors): the chain is
+    /// kept sorted by version. Writing the same version twice replaces the
+    /// value (idempotent re-execution).
+    pub fn put(&mut self, key: Key, value: Value, version: Version) {
+        let chain = self.chains.entry(key).or_default();
+        match chain.binary_search_by_key(&version, |(v, _)| *v) {
+            Ok(i) => chain[i].1 = value,
+            Err(i) => chain.insert(i, (version, value)),
+        }
+    }
+
+    /// Reads the value of `key` visible at `position`: the latest version
+    /// `≤ position`. Returns [`Value::Unit`] if no such version exists.
+    #[must_use]
+    pub fn read_at(&self, key: Key, position: Version) -> Value {
+        let Some(chain) = self.chains.get(&key) else {
+            return Value::Unit;
+        };
+        match chain.binary_search_by_key(&position, |(v, _)| *v) {
+            Ok(i) => chain[i].1.clone(),
+            Err(0) => Value::Unit,
+            Err(i) => chain[i - 1].1.clone(),
+        }
+    }
+
+    /// Reads the newest version of `key`.
+    #[must_use]
+    pub fn latest(&self, key: Key) -> Value {
+        self.chains
+            .get(&key)
+            .and_then(|chain| chain.last())
+            .map(|(_, v)| v.clone())
+            .unwrap_or_default()
+    }
+
+    /// Number of stored versions of `key`.
+    #[must_use]
+    pub fn version_count(&self, key: Key) -> usize {
+        self.chains.get(&key).map_or(0, Vec::len)
+    }
+
+    /// Garbage-collects versions strictly older than `horizon`, keeping at
+    /// least the newest version at or below the horizon (it is still
+    /// visible to readers positioned at the horizon).
+    pub fn prune(&mut self, horizon: Version) {
+        for chain in self.chains.values_mut() {
+            // Index of the first version > horizon.
+            let first_after = chain.partition_point(|(v, _)| *v <= horizon);
+            if first_after > 1 {
+                chain.drain(..first_after - 1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use parblock_types::{BlockNumber, SeqNo};
+
+    use super::*;
+
+    fn v(block: u64, seq: u32) -> Version {
+        Version::new(BlockNumber(block), SeqNo(seq))
+    }
+
+    #[test]
+    fn reads_route_to_correct_version() {
+        let mut s = MvccState::new();
+        s.put(Key(1), Value::Int(1), v(1, 1));
+        s.put(Key(1), Value::Int(2), v(1, 5));
+        s.put(Key(1), Value::Int(3), v(2, 0));
+        assert_eq!(s.read_at(Key(1), v(1, 0)), Value::Unit);
+        assert_eq!(s.read_at(Key(1), v(1, 1)), Value::Int(1));
+        assert_eq!(s.read_at(Key(1), v(1, 4)), Value::Int(1));
+        assert_eq!(s.read_at(Key(1), v(1, 5)), Value::Int(2));
+        assert_eq!(s.read_at(Key(1), v(9, 9)), Value::Int(3));
+        assert_eq!(s.latest(Key(1)), Value::Int(3));
+    }
+
+    #[test]
+    fn out_of_order_writes_keep_chain_sorted() {
+        let mut s = MvccState::new();
+        s.put(Key(1), Value::Int(3), v(3, 0));
+        s.put(Key(1), Value::Int(1), v(1, 0));
+        s.put(Key(1), Value::Int(2), v(2, 0));
+        assert_eq!(s.read_at(Key(1), v(2, 0)), Value::Int(2));
+        assert_eq!(s.version_count(Key(1)), 3);
+    }
+
+    #[test]
+    fn same_version_rewrite_is_idempotent() {
+        let mut s = MvccState::new();
+        s.put(Key(1), Value::Int(1), v(1, 0));
+        s.put(Key(1), Value::Int(9), v(1, 0));
+        assert_eq!(s.version_count(Key(1)), 1);
+        assert_eq!(s.latest(Key(1)), Value::Int(9));
+    }
+
+    #[test]
+    fn absent_keys_read_unit() {
+        let s = MvccState::new();
+        assert_eq!(s.read_at(Key(1), v(1, 0)), Value::Unit);
+        assert_eq!(s.latest(Key(1)), Value::Unit);
+        assert_eq!(s.version_count(Key(1)), 0);
+    }
+
+    #[test]
+    fn prune_keeps_horizon_visibility() {
+        let mut s = MvccState::new();
+        for i in 1..=5 {
+            s.put(Key(1), Value::Int(i as i64), v(i, 0));
+        }
+        s.prune(v(3, 0));
+        // Versions 1 and 2 dropped; version 3 kept (visible at horizon).
+        assert_eq!(s.version_count(Key(1)), 3);
+        assert_eq!(s.read_at(Key(1), v(3, 0)), Value::Int(3));
+        assert_eq!(s.read_at(Key(1), v(4, 0)), Value::Int(4));
+    }
+
+    #[test]
+    fn genesis_constructor() {
+        let s = MvccState::with_genesis([(Key(1), Value::Int(7))]);
+        assert_eq!(s.read_at(Key(1), Version::GENESIS), Value::Int(7));
+    }
+}

@@ -1,0 +1,133 @@
+//! Per-node network endpoints.
+
+use std::fmt;
+use std::time::Duration;
+
+use crossbeam::channel::{Receiver, RecvTimeoutError};
+use parblock_types::NodeId;
+
+use crate::engine::SimNetwork;
+
+/// A message together with its authenticated sender.
+///
+/// The network guarantees sender authenticity (§III: "network links are
+/// pairwise authenticated… a Byzantine node cannot forge a message from a
+/// correct node"): `from` is stamped by the transport, not by the sender's
+/// payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// The sending node.
+    pub from: NodeId,
+    /// The message payload.
+    pub msg: M,
+}
+
+/// Error returned by blocking receives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvError {
+    /// No message arrived before the timeout.
+    Timeout,
+    /// The network was shut down.
+    Disconnected,
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvError::Timeout => f.write_str("receive timed out"),
+            RecvError::Disconnected => f.write_str("network shut down"),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// A node's handle to the simulated network: a sender for any destination
+/// and a private mailbox.
+pub struct Endpoint<M: Send + 'static> {
+    id: NodeId,
+    net: SimNetwork<M>,
+    rx: Receiver<Envelope<M>>,
+}
+
+impl<M: Send + 'static> Endpoint<M> {
+    pub(crate) fn new(id: NodeId, net: SimNetwork<M>, rx: Receiver<Envelope<M>>) -> Self {
+        Endpoint { id, net, rx }
+    }
+
+    /// This endpoint's node id.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Sends `msg` to `to` (fire-and-forget, like UDP with FIFO-ish
+    /// delivery; protocols needing reliability retransmit).
+    pub fn send(&self, to: NodeId, msg: M) {
+        self.net.route(self.id, to, msg);
+    }
+
+    /// Sends a copy of `msg` to every node in `dests` (skipping self).
+    pub fn multicast<'a, I>(&self, dests: I, msg: &M)
+    where
+        M: Clone,
+        I: IntoIterator<Item = &'a NodeId>,
+    {
+        for &to in dests {
+            if to != self.id {
+                self.send(to, msg.clone());
+            }
+        }
+    }
+
+    /// Blocks until a message arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvError::Disconnected`] if the network shut down.
+    pub fn recv(&self) -> Result<Envelope<M>, RecvError> {
+        self.rx.recv().map_err(|_| RecvError::Disconnected)
+    }
+
+    /// Blocks up to `timeout` for a message.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError::Timeout`] if nothing arrived in time;
+    /// [`RecvError::Disconnected`] if the network shut down.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Envelope<M>, RecvError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => RecvError::Timeout,
+            RecvTimeoutError::Disconnected => RecvError::Disconnected,
+        })
+    }
+
+    /// The raw mailbox receiver, for use with `crossbeam::select!` when a
+    /// node must multiplex network traffic with other event sources
+    /// (e.g. an execution pool's completion channel).
+    #[must_use]
+    pub fn receiver(&self) -> &Receiver<Envelope<M>> {
+        &self.rx
+    }
+
+    /// Returns a pending message without blocking, if any.
+    #[must_use]
+    pub fn try_recv(&self) -> Option<Envelope<M>> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Number of messages waiting in the mailbox.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.rx.len()
+    }
+}
+
+impl<M: Send + 'static> fmt::Debug for Endpoint<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Endpoint")
+            .field("id", &self.id)
+            .field("pending", &self.rx.len())
+            .finish()
+    }
+}

@@ -1,0 +1,394 @@
+//! The delivery engine: applies latency, jitter and faults, then delivers
+//! to mailboxes via a timer thread.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex, RwLock};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use parblock_types::NodeId;
+
+use crate::endpoint::{Endpoint, Envelope};
+use crate::faults::Faults;
+use crate::stats::NetStats;
+use crate::topology::{LatencyModel, Topology};
+
+/// Builder for a [`SimNetwork`].
+///
+/// # Examples
+///
+/// ```
+/// use parblock_net::{NetworkBuilder, Topology};
+/// use std::time::Duration;
+///
+/// let net = NetworkBuilder::new()
+///     .topology(Topology::single_dc(Duration::ZERO))
+///     .seed(42)
+///     .build::<u32>();
+/// let _ = net.endpoint(parblock_types::NodeId(0));
+/// ```
+#[derive(Debug, Default)]
+pub struct NetworkBuilder {
+    topology: Topology,
+    seed: u64,
+}
+
+impl NetworkBuilder {
+    /// Starts a builder with a default LAN topology.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the datacenter topology.
+    #[must_use]
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Seeds the jitter/drop RNG (simulations stay reproducible).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the network and starts its delivery thread.
+    #[must_use]
+    pub fn build<M: Send + 'static>(self) -> SimNetwork<M> {
+        SimNetwork::start(LatencyModel::new(self.topology), self.seed)
+    }
+}
+
+struct Scheduled<M> {
+    seq: u64,
+    to: NodeId,
+    envelope: Envelope<M>,
+}
+
+struct Queue<M> {
+    heap: BinaryHeap<Reverse<HeapKey>>,
+    items: HashMap<u64, Scheduled<M>>,
+    next_seq: u64,
+    shutdown: bool,
+}
+
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+struct HeapKey {
+    due: Instant,
+    seq: u64,
+}
+
+struct Shared<M> {
+    queue: Mutex<Queue<M>>,
+    wake: Condvar,
+    mailboxes: RwLock<HashMap<NodeId, Sender<Envelope<M>>>>,
+    latency: LatencyModel,
+    faults: Faults,
+    stats: NetStats,
+    rng: Mutex<StdRng>,
+}
+
+/// A simulated network. Cheap to clone; all clones share the same state.
+///
+/// See the crate docs for the model. Dropping the last handle signals the
+/// delivery thread to stop; call [`SimNetwork::shutdown`] to stop it
+/// deterministically.
+pub struct SimNetwork<M: Send + 'static> {
+    shared: Arc<Shared<M>>,
+    /// Join handle, held by the original handle only.
+    worker: Arc<Mutex<Option<JoinHandle<()>>>>,
+}
+
+impl<M: Send + 'static> Clone for SimNetwork<M> {
+    fn clone(&self) -> Self {
+        SimNetwork {
+            shared: Arc::clone(&self.shared),
+            worker: Arc::clone(&self.worker),
+        }
+    }
+}
+
+impl<M: Send + 'static> SimNetwork<M> {
+    fn start(latency: LatencyModel, seed: u64) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                heap: BinaryHeap::new(),
+                items: HashMap::new(),
+                next_seq: 0,
+                shutdown: false,
+            }),
+            wake: Condvar::new(),
+            mailboxes: RwLock::new(HashMap::new()),
+            latency,
+            faults: Faults::new(),
+            stats: NetStats::new(),
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("simnet-delivery".into())
+            .spawn(move || delivery_loop(&worker_shared))
+            .expect("spawn delivery thread");
+        SimNetwork {
+            shared,
+            worker: Arc::new(Mutex::new(Some(handle))),
+        }
+    }
+
+    /// Registers (or replaces) the mailbox for `node` and returns its
+    /// endpoint.
+    #[must_use]
+    pub fn endpoint(&self, node: NodeId) -> Endpoint<M> {
+        let (tx, rx) = unbounded();
+        self.shared.mailboxes.write().insert(node, tx);
+        Endpoint::new(node, self.clone(), rx)
+    }
+
+    /// The shared fault-injection plan.
+    #[must_use]
+    pub fn faults(&self) -> Faults {
+        self.shared.faults.clone()
+    }
+
+    /// The shared traffic counters.
+    #[must_use]
+    pub fn stats(&self) -> NetStats {
+        self.shared.stats.clone()
+    }
+
+    pub(crate) fn route(&self, from: NodeId, to: NodeId, msg: M) {
+        self.shared.stats.record_sent();
+        let (drop_unit, jitter_unit) = {
+            let mut rng = self.shared.rng.lock();
+            (rng.gen::<f64>(), rng.gen::<f64>())
+        };
+        if self.shared.faults.should_drop(from, to, drop_unit) {
+            self.shared.stats.record_dropped();
+            return;
+        }
+        let delay = self.shared.latency.sample(from, to, jitter_unit)
+            + self.shared.faults.extra_delay(from, to);
+        let envelope = Envelope { from, msg };
+        if delay.is_zero() {
+            self.deliver(to, envelope);
+            return;
+        }
+        let due = Instant::now() + delay;
+        let mut queue = self.shared.queue.lock();
+        let seq = queue.next_seq;
+        queue.next_seq += 1;
+        queue.heap.push(Reverse(HeapKey { due, seq }));
+        queue.items.insert(seq, Scheduled { seq, to, envelope });
+        drop(queue);
+        self.shared.wake.notify_one();
+    }
+
+    fn deliver(&self, to: NodeId, envelope: Envelope<M>) {
+        deliver_to(&self.shared, to, envelope);
+    }
+
+    /// Stops the delivery thread, dropping any undelivered messages.
+    ///
+    /// Idempotent; called implicitly when the last handle is dropped.
+    pub fn shutdown(&self) {
+        {
+            let mut queue = self.shared.queue.lock();
+            queue.shutdown = true;
+        }
+        self.shared.wake.notify_all();
+        if let Some(handle) = self.worker.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<M: Send + 'static> Drop for SimNetwork<M> {
+    fn drop(&mut self) {
+        // Only the final two handles remain inside the worker itself; when
+        // the user's last clone goes away, signal shutdown without joining
+        // (C-DTOR-BLOCK): the thread exits promptly on its own.
+        if Arc::strong_count(&self.shared) <= 2 {
+            let mut queue = self.shared.queue.lock();
+            queue.shutdown = true;
+            drop(queue);
+            self.shared.wake.notify_all();
+        }
+    }
+}
+
+impl<M: Send + 'static> std::fmt::Debug for SimNetwork<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimNetwork")
+            .field("mailboxes", &self.shared.mailboxes.read().len())
+            .field("queued", &self.shared.queue.lock().items.len())
+            .finish()
+    }
+}
+
+fn deliver_to<M: Send + 'static>(shared: &Shared<M>, to: NodeId, envelope: Envelope<M>) {
+    let mailboxes = shared.mailboxes.read();
+    match mailboxes.get(&to) {
+        Some(tx) if tx.send(envelope).is_ok() => shared.stats.record_delivered(),
+        _ => shared.stats.record_dropped(),
+    }
+}
+
+fn delivery_loop<M: Send + 'static>(shared: &Shared<M>) {
+    let mut queue = shared.queue.lock();
+    loop {
+        if queue.shutdown {
+            return;
+        }
+        let now = Instant::now();
+        // Deliver everything due.
+        while let Some(Reverse(key)) = queue.heap.peek() {
+            if key.due > now {
+                break;
+            }
+            let Reverse(key) = queue.heap.pop().expect("peeked");
+            if let Some(item) = queue.items.remove(&key.seq) {
+                debug_assert_eq!(item.seq, key.seq);
+                // Deliver without holding the queue lock.
+                parking_lot::MutexGuard::unlocked(&mut queue, || {
+                    deliver_to(shared, item.to, item.envelope);
+                });
+            }
+        }
+        match queue.heap.peek() {
+            Some(Reverse(key)) => {
+                let wait = key.due.saturating_duration_since(Instant::now());
+                let _ = shared.wake.wait_for(&mut queue, wait);
+            }
+            None => shared.wake.wait(&mut queue),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Duration;
+
+    use super::*;
+
+    fn lan(latency_us: u64) -> SimNetwork<u32> {
+        NetworkBuilder::new()
+            .topology(Topology::single_dc(Duration::from_micros(latency_us)))
+            .seed(7)
+            .build()
+    }
+
+    #[test]
+    fn zero_latency_delivers_inline() {
+        let net = lan(0);
+        let a = net.endpoint(NodeId(0));
+        let b = net.endpoint(NodeId(1));
+        a.send(NodeId(1), 99);
+        let env = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(env.msg, 99);
+        assert_eq!(env.from, NodeId(0));
+        net.shutdown();
+    }
+
+    #[test]
+    fn latency_is_applied() {
+        let net = lan(20_000); // 20 ms
+        let a = net.endpoint(NodeId(0));
+        let b = net.endpoint(NodeId(1));
+        let start = Instant::now();
+        a.send(NodeId(1), 1);
+        let _ = b.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(18));
+        net.shutdown();
+    }
+
+    #[test]
+    fn messages_to_unregistered_nodes_are_dropped() {
+        let net = lan(0);
+        let a = net.endpoint(NodeId(0));
+        a.send(NodeId(42), 5);
+        assert_eq!(net.stats().dropped(), 1);
+        net.shutdown();
+    }
+
+    #[test]
+    fn multicast_skips_self() {
+        let net = lan(0);
+        let a = net.endpoint(NodeId(0));
+        let b = net.endpoint(NodeId(1));
+        let c = net.endpoint(NodeId(2));
+        let everyone = [NodeId(0), NodeId(1), NodeId(2)];
+        a.multicast(everyone.iter(), &7);
+        assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap().msg, 7);
+        assert_eq!(c.recv_timeout(Duration::from_secs(1)).unwrap().msg, 7);
+        assert!(a.try_recv().is_none());
+        net.shutdown();
+    }
+
+    #[test]
+    fn partition_blocks_delivery_until_heal() {
+        let net = lan(0);
+        let a = net.endpoint(NodeId(0));
+        let b = net.endpoint(NodeId(1));
+        net.faults().partition(NodeId(0), NodeId(1));
+        a.send(NodeId(1), 1);
+        assert!(b.recv_timeout(Duration::from_millis(50)).is_err());
+        net.faults().heal();
+        a.send(NodeId(1), 2);
+        assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap().msg, 2);
+        net.shutdown();
+    }
+
+    #[test]
+    fn same_delay_messages_keep_fifo_order() {
+        let net = lan(1000);
+        let a = net.endpoint(NodeId(0));
+        let b = net.endpoint(NodeId(1));
+        for i in 0..20 {
+            a.send(NodeId(1), i);
+        }
+        for want in 0..20 {
+            let got = b.recv_timeout(Duration::from_secs(1)).unwrap().msg;
+            assert_eq!(got, want);
+        }
+        net.shutdown();
+    }
+
+    #[test]
+    fn stats_count_sent_and_delivered() {
+        let net = lan(0);
+        let a = net.endpoint(NodeId(0));
+        let _b = net.endpoint(NodeId(1));
+        a.send(NodeId(1), 1);
+        a.send(NodeId(1), 2);
+        assert_eq!(net.stats().sent(), 2);
+        assert_eq!(net.stats().delivered(), 2);
+        net.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let net = lan(0);
+        net.shutdown();
+        net.shutdown();
+    }
+
+    #[test]
+    fn pending_counts_mailbox_depth() {
+        let net = lan(0);
+        let a = net.endpoint(NodeId(0));
+        let b = net.endpoint(NodeId(1));
+        a.send(NodeId(1), 1);
+        a.send(NodeId(1), 2);
+        // Zero-latency sends deliver inline, so both are queued.
+        assert_eq!(b.pending(), 2);
+        net.shutdown();
+    }
+}

@@ -1,0 +1,198 @@
+//! Runtime fault injection: drops, partitions, and extra delay.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::RwLock;
+use parblock_types::NodeId;
+
+#[derive(Debug, Default)]
+struct FaultState {
+    /// Per-link drop probability, keyed `(from, to)`.
+    drop_prob: HashMap<(NodeId, NodeId), f64>,
+    /// Crashed nodes: everything to/from them is dropped.
+    crashed: HashSet<NodeId>,
+    /// Partitioned unordered pairs.
+    partitioned: HashSet<(NodeId, NodeId)>,
+    /// Extra one-way delay per link.
+    extra_delay: HashMap<(NodeId, NodeId), Duration>,
+}
+
+/// Shared, runtime-mutable fault plan.
+///
+/// Cloning shares the underlying state, so a test can keep a handle while
+/// the network consults the same plan.
+///
+/// # Examples
+///
+/// ```
+/// use parblock_net::Faults;
+/// use parblock_types::NodeId;
+///
+/// let faults = Faults::new();
+/// faults.partition(NodeId(0), NodeId(1));
+/// assert!(faults.should_drop(NodeId(0), NodeId(1), 0.99));
+/// faults.heal();
+/// assert!(!faults.should_drop(NodeId(0), NodeId(1), 0.99));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Faults {
+    state: Arc<RwLock<FaultState>>,
+}
+
+fn unordered(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+impl Faults {
+    /// Creates a fault-free plan.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the drop probability for the directed link `from → to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prob` is not within `0.0..=1.0`.
+    pub fn set_drop(&self, from: NodeId, to: NodeId, prob: f64) {
+        assert!((0.0..=1.0).contains(&prob), "probability must be in [0, 1]");
+        self.state.write().drop_prob.insert((from, to), prob);
+    }
+
+    /// Marks `node` as crashed: all of its traffic is dropped until
+    /// [`Faults::restart`].
+    pub fn crash(&self, node: NodeId) {
+        self.state.write().crashed.insert(node);
+    }
+
+    /// Restarts a crashed node.
+    pub fn restart(&self, node: NodeId) {
+        self.state.write().crashed.remove(&node);
+    }
+
+    /// Partitions the unordered pair `{a, b}` (both directions dropped).
+    pub fn partition(&self, a: NodeId, b: NodeId) {
+        self.state.write().partitioned.insert(unordered(a, b));
+    }
+
+    /// Partitions every cross pair between the two groups.
+    pub fn partition_groups(&self, left: &[NodeId], right: &[NodeId]) {
+        let mut state = self.state.write();
+        for &a in left {
+            for &b in right {
+                state.partitioned.insert(unordered(a, b));
+            }
+        }
+    }
+
+    /// Adds one-way extra delay on `from → to`.
+    pub fn add_delay(&self, from: NodeId, to: NodeId, delay: Duration) {
+        self.state.write().extra_delay.insert((from, to), delay);
+    }
+
+    /// Clears all faults.
+    pub fn heal(&self) {
+        *self.state.write() = FaultState::default();
+    }
+
+    /// Whether a message on `from → to` should be dropped, given a uniform
+    /// sample `unit` in `[0, 1)`.
+    #[must_use]
+    pub fn should_drop(&self, from: NodeId, to: NodeId, unit: f64) -> bool {
+        let state = self.state.read();
+        if state.crashed.contains(&from) || state.crashed.contains(&to) {
+            return true;
+        }
+        if state.partitioned.contains(&unordered(from, to)) {
+            return true;
+        }
+        state
+            .drop_prob
+            .get(&(from, to))
+            .is_some_and(|&p| unit < p)
+    }
+
+    /// The extra delay configured on `from → to`.
+    #[must_use]
+    pub fn extra_delay(&self, from: NodeId, to: NodeId) -> Duration {
+        self.state
+            .read()
+            .extra_delay
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(Duration::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_probability_thresholds() {
+        let f = Faults::new();
+        f.set_drop(NodeId(0), NodeId(1), 0.5);
+        assert!(f.should_drop(NodeId(0), NodeId(1), 0.4));
+        assert!(!f.should_drop(NodeId(0), NodeId(1), 0.6));
+        // Other direction unaffected.
+        assert!(!f.should_drop(NodeId(1), NodeId(0), 0.4));
+    }
+
+    #[test]
+    fn crash_drops_both_directions() {
+        let f = Faults::new();
+        f.crash(NodeId(2));
+        assert!(f.should_drop(NodeId(2), NodeId(0), 0.9));
+        assert!(f.should_drop(NodeId(0), NodeId(2), 0.9));
+        f.restart(NodeId(2));
+        assert!(!f.should_drop(NodeId(0), NodeId(2), 0.9));
+    }
+
+    #[test]
+    fn partition_is_symmetric_and_healable() {
+        let f = Faults::new();
+        f.partition(NodeId(3), NodeId(1));
+        assert!(f.should_drop(NodeId(1), NodeId(3), 0.99));
+        assert!(f.should_drop(NodeId(3), NodeId(1), 0.99));
+        f.heal();
+        assert!(!f.should_drop(NodeId(1), NodeId(3), 0.99));
+    }
+
+    #[test]
+    fn group_partition() {
+        let f = Faults::new();
+        f.partition_groups(&[NodeId(0), NodeId(1)], &[NodeId(2)]);
+        assert!(f.should_drop(NodeId(0), NodeId(2), 0.99));
+        assert!(f.should_drop(NodeId(2), NodeId(1), 0.99));
+        assert!(!f.should_drop(NodeId(0), NodeId(1), 0.99));
+    }
+
+    #[test]
+    fn extra_delay_lookup() {
+        let f = Faults::new();
+        assert_eq!(f.extra_delay(NodeId(0), NodeId(1)), Duration::ZERO);
+        f.add_delay(NodeId(0), NodeId(1), Duration::from_millis(7));
+        assert_eq!(f.extra_delay(NodeId(0), NodeId(1)), Duration::from_millis(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must be in [0, 1]")]
+    fn invalid_probability_panics() {
+        Faults::new().set_drop(NodeId(0), NodeId(1), 1.5);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let f = Faults::new();
+        let g = f.clone();
+        f.crash(NodeId(9));
+        assert!(g.should_drop(NodeId(9), NodeId(0), 0.0));
+    }
+}

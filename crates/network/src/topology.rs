@@ -1,0 +1,214 @@
+//! Datacenter topology and latency models.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use parblock_types::NodeId;
+
+/// Identifies a datacenter (region) in the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DcId(pub u8);
+
+/// Where each node lives and how long links take.
+///
+/// The paper's Fig 7 places node groups either in AWS US-West or in AWS
+/// Asia-Pacific (Tokyo); [`Topology::two_dc`] models exactly that split.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use parblock_net::{DcId, Topology};
+/// use parblock_types::NodeId;
+///
+/// let mut topo = Topology::two_dc(
+///     Duration::from_micros(100),
+///     Duration::from_millis(10),
+/// );
+/// topo.place(NodeId(5), DcId(1));
+/// assert_eq!(topo.latency(NodeId(5), NodeId(5)), Duration::ZERO);
+/// assert_eq!(topo.latency(NodeId(0), NodeId(5)), Duration::from_millis(10));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Topology {
+    placement: HashMap<NodeId, DcId>,
+    /// Latency between two distinct nodes in the same DC.
+    intra_dc: Duration,
+    /// Latency between nodes in different DCs.
+    inter_dc: Duration,
+    /// Jitter fraction (0.0–1.0) applied uniformly at delivery time.
+    jitter: f64,
+}
+
+impl Topology {
+    /// A single datacenter where every distinct pair is `intra` apart.
+    #[must_use]
+    pub fn single_dc(intra: Duration) -> Self {
+        Topology {
+            placement: HashMap::new(),
+            intra_dc: intra,
+            inter_dc: intra,
+            jitter: 0.0,
+        }
+    }
+
+    /// Two datacenters: unplaced nodes default to DC 0; nodes placed in
+    /// DC 1 are `inter` away from DC 0.
+    #[must_use]
+    pub fn two_dc(intra: Duration, inter: Duration) -> Self {
+        Topology {
+            placement: HashMap::new(),
+            intra_dc: intra,
+            inter_dc: inter,
+            jitter: 0.0,
+        }
+    }
+
+    /// Places a node in a datacenter (default: `DcId(0)`).
+    pub fn place(&mut self, node: NodeId, dc: DcId) {
+        self.placement.insert(node, dc);
+    }
+
+    /// Places many nodes at once.
+    pub fn place_all<I: IntoIterator<Item = NodeId>>(&mut self, nodes: I, dc: DcId) {
+        for n in nodes {
+            self.place(n, dc);
+        }
+    }
+
+    /// Sets the uniform jitter fraction (e.g. `0.1` = ±10 %).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jitter` is not within `0.0..=1.0`.
+    pub fn set_jitter(&mut self, jitter: f64) {
+        assert!((0.0..=1.0).contains(&jitter), "jitter must be in [0, 1]");
+        self.jitter = jitter;
+    }
+
+    /// The datacenter of `node`.
+    #[must_use]
+    pub fn dc_of(&self, node: NodeId) -> DcId {
+        self.placement.get(&node).copied().unwrap_or_default()
+    }
+
+    /// Base latency from `from` to `to` (zero to self).
+    #[must_use]
+    pub fn latency(&self, from: NodeId, to: NodeId) -> Duration {
+        if from == to {
+            return Duration::ZERO;
+        }
+        if self.dc_of(from) == self.dc_of(to) {
+            self.intra_dc
+        } else {
+            self.inter_dc
+        }
+    }
+
+    /// The configured jitter fraction.
+    #[must_use]
+    pub fn jitter(&self) -> f64 {
+        self.jitter
+    }
+}
+
+impl Default for Topology {
+    /// A single DC with 100 µs links — a LAN-like default.
+    fn default() -> Self {
+        Topology::single_dc(Duration::from_micros(100))
+    }
+}
+
+/// A latency model: base topology latency plus uniform jitter.
+///
+/// Kept separate from [`Topology`] so tests can swap in fixed or zero
+/// latencies.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyModel {
+    topology: Topology,
+}
+
+impl LatencyModel {
+    /// Wraps a topology.
+    #[must_use]
+    pub fn new(topology: Topology) -> Self {
+        LatencyModel { topology }
+    }
+
+    /// Instantaneous delivery (unit tests of protocol logic).
+    #[must_use]
+    pub fn zero() -> Self {
+        LatencyModel {
+            topology: Topology::single_dc(Duration::ZERO),
+        }
+    }
+
+    /// Samples the delivery latency for a message `from → to`.
+    ///
+    /// `unit_jitter` must be a uniform sample in `[0, 1)`; passing it in
+    /// keeps the model free of RNG state.
+    #[must_use]
+    pub fn sample(&self, from: NodeId, to: NodeId, unit_jitter: f64) -> Duration {
+        let base = self.topology.latency(from, to);
+        let jitter = self.topology.jitter();
+        if jitter == 0.0 || base.is_zero() {
+            return base;
+        }
+        // Scale uniformly in [1 - j, 1 + j).
+        let factor = 1.0 - jitter + 2.0 * jitter * unit_jitter;
+        base.mul_f64(factor)
+    }
+
+    /// The underlying topology.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_and_latency() {
+        let mut topo = Topology::two_dc(Duration::from_micros(50), Duration::from_millis(5));
+        topo.place(NodeId(1), DcId(1));
+        assert_eq!(topo.dc_of(NodeId(0)), DcId(0));
+        assert_eq!(topo.dc_of(NodeId(1)), DcId(1));
+        assert_eq!(topo.latency(NodeId(0), NodeId(2)), Duration::from_micros(50));
+        assert_eq!(topo.latency(NodeId(0), NodeId(1)), Duration::from_millis(5));
+        assert_eq!(topo.latency(NodeId(1), NodeId(1)), Duration::ZERO);
+    }
+
+    #[test]
+    fn place_all_moves_a_group() {
+        let mut topo = Topology::two_dc(Duration::ZERO, Duration::from_millis(1));
+        topo.place_all([NodeId(3), NodeId(4)], DcId(1));
+        assert_eq!(topo.latency(NodeId(3), NodeId(4)), Duration::ZERO);
+        assert_eq!(topo.latency(NodeId(0), NodeId(3)), Duration::from_millis(1));
+    }
+
+    #[test]
+    fn jitter_scales_latency_within_bounds() {
+        let mut topo = Topology::single_dc(Duration::from_micros(1000));
+        topo.set_jitter(0.2);
+        let model = LatencyModel::new(topo);
+        let lo = model.sample(NodeId(0), NodeId(1), 0.0);
+        let hi = model.sample(NodeId(0), NodeId(1), 0.999_999);
+        assert_eq!(lo, Duration::from_micros(800));
+        assert!(hi > Duration::from_micros(1195) && hi <= Duration::from_micros(1200));
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter must be in [0, 1]")]
+    fn invalid_jitter_panics() {
+        Topology::default().set_jitter(1.5);
+    }
+
+    #[test]
+    fn zero_model_is_instant() {
+        let m = LatencyModel::zero();
+        assert_eq!(m.sample(NodeId(0), NodeId(1), 0.5), Duration::ZERO);
+    }
+}

@@ -1,0 +1,118 @@
+//! Behavioural tests of the simulated network under load, jitter and
+//! probabilistic faults.
+
+use std::time::{Duration, Instant};
+
+use parblock_net::{NetworkBuilder, Topology};
+use parblock_types::NodeId;
+
+#[test]
+fn drop_probability_is_statistically_respected() {
+    let net = NetworkBuilder::new()
+        .topology(Topology::single_dc(Duration::ZERO))
+        .seed(9)
+        .build::<u32>();
+    let a = net.endpoint(NodeId(0));
+    let _b = net.endpoint(NodeId(1));
+    net.faults().set_drop(NodeId(0), NodeId(1), 0.3);
+    for i in 0..2_000 {
+        a.send(NodeId(1), i);
+    }
+    let dropped = net.stats().dropped();
+    let rate = dropped as f64 / 2_000.0;
+    assert!(
+        (0.22..=0.38).contains(&rate),
+        "drop rate {rate} far from configured 0.3"
+    );
+    net.shutdown();
+}
+
+#[test]
+fn jitter_spreads_latencies_but_preserves_bounds() {
+    let mut topo = Topology::single_dc(Duration::from_millis(2));
+    topo.set_jitter(0.5);
+    let net = NetworkBuilder::new().topology(topo).seed(3).build::<u32>();
+    let a = net.endpoint(NodeId(0));
+    let b = net.endpoint(NodeId(1));
+    let mut latencies = Vec::new();
+    for i in 0..50 {
+        let start = Instant::now();
+        a.send(NodeId(1), i);
+        let _ = b.recv_timeout(Duration::from_secs(1)).expect("delivered");
+        latencies.push(start.elapsed());
+    }
+    let min = latencies.iter().min().copied().expect("non-empty");
+    let max = latencies.iter().max().copied().expect("non-empty");
+    // Bounds: 2 ms ± 50 % plus scheduling slack.
+    assert!(min >= Duration::from_micros(900), "min {min:?}");
+    assert!(max <= Duration::from_millis(20), "max {max:?}");
+    assert!(max > min, "jitter should spread deliveries");
+    net.shutdown();
+}
+
+#[test]
+fn two_dc_topology_orders_latencies() {
+    use parblock_net::DcId;
+    let mut topo = Topology::two_dc(Duration::from_micros(100), Duration::from_millis(5));
+    topo.place(NodeId(2), DcId(1));
+    let net = NetworkBuilder::new().topology(topo).seed(4).build::<u32>();
+    let a = net.endpoint(NodeId(0));
+    let near = net.endpoint(NodeId(1));
+    let far = net.endpoint(NodeId(2));
+
+    let start = Instant::now();
+    a.send(NodeId(1), 1);
+    let _ = near.recv_timeout(Duration::from_secs(1)).expect("near");
+    let near_latency = start.elapsed();
+
+    let start = Instant::now();
+    a.send(NodeId(2), 2);
+    let _ = far.recv_timeout(Duration::from_secs(1)).expect("far");
+    let far_latency = start.elapsed();
+
+    assert!(
+        far_latency > near_latency + Duration::from_millis(3),
+        "near {near_latency:?} vs far {far_latency:?}"
+    );
+    net.shutdown();
+}
+
+#[test]
+fn high_fanout_multicast_delivers_everything() {
+    let net = NetworkBuilder::new()
+        .topology(Topology::single_dc(Duration::from_micros(100)))
+        .seed(5)
+        .build::<u64>();
+    let sender = net.endpoint(NodeId(0));
+    let receivers: Vec<_> = (1..=8).map(|i| net.endpoint(NodeId(i))).collect();
+    let dests: Vec<NodeId> = (1..=8).map(NodeId).collect();
+    for round in 0..50u64 {
+        sender.multicast(dests.iter(), &round);
+    }
+    for receiver in &receivers {
+        for want in 0..50u64 {
+            let envelope = receiver
+                .recv_timeout(Duration::from_secs(2))
+                .expect("delivery");
+            assert_eq!(envelope.msg, want);
+        }
+    }
+    assert_eq!(net.stats().delivered(), 50 * 8);
+    net.shutdown();
+}
+
+#[test]
+fn crashed_node_receives_nothing_until_restart() {
+    let net = NetworkBuilder::new()
+        .topology(Topology::single_dc(Duration::ZERO))
+        .build::<u8>();
+    let a = net.endpoint(NodeId(0));
+    let b = net.endpoint(NodeId(1));
+    net.faults().crash(NodeId(1));
+    a.send(NodeId(1), 1);
+    assert!(b.recv_timeout(Duration::from_millis(30)).is_err());
+    net.faults().restart(NodeId(1));
+    a.send(NodeId(1), 2);
+    assert_eq!(b.recv_timeout(Duration::from_secs(1)).expect("after restart").msg, 2);
+    net.shutdown();
+}

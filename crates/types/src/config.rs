@@ -1,0 +1,178 @@
+//! Shared configuration types.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use crate::AppId;
+
+/// Block-cutting conditions (§IV-B): "Blocks have a pre-defined maximal
+/// size, maximal number of transactions, and maximal time the block
+/// production takes since the first transaction of a new block was
+/// received. When any of these three conditions is satisfied, a block is
+/// full."
+///
+/// # Examples
+///
+/// ```
+/// use parblock_types::BlockCutConfig;
+///
+/// let cut = BlockCutConfig::with_max_txns(200);
+/// assert_eq!(cut.max_txns, 200);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockCutConfig {
+    /// Maximal number of transactions per block.
+    pub max_txns: usize,
+    /// Maximal serialized block size in bytes.
+    pub max_bytes: usize,
+    /// Maximal time since the first transaction of the block arrived.
+    pub max_wait: Duration,
+}
+
+impl BlockCutConfig {
+    /// A configuration bounded only by transaction count (the knob swept in
+    /// Fig 5), with generous byte/time limits.
+    #[must_use]
+    pub fn with_max_txns(max_txns: usize) -> Self {
+        BlockCutConfig {
+            max_txns,
+            max_bytes: usize::MAX,
+            max_wait: Duration::from_millis(50),
+        }
+    }
+}
+
+impl Default for BlockCutConfig {
+    /// The paper's sweet spot: ~200 transactions per block.
+    fn default() -> Self {
+        BlockCutConfig::with_max_txns(200)
+    }
+}
+
+/// The commit policy τ : A → usize of §III-B: how many matching execution
+/// results an executor must collect before committing a transaction of
+/// application `A` (the analogue of Fabric's endorsement policies).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CommitPolicy {
+    per_app: BTreeMap<AppId, usize>,
+    default_quorum: usize,
+}
+
+impl CommitPolicy {
+    /// A policy requiring `quorum` matching results for every application.
+    #[must_use]
+    pub fn uniform(quorum: usize) -> Self {
+        CommitPolicy {
+            per_app: BTreeMap::new(),
+            default_quorum: quorum.max(1),
+        }
+    }
+
+    /// Overrides the quorum for one application.
+    #[must_use]
+    pub fn with_app(mut self, app: AppId, quorum: usize) -> Self {
+        self.per_app.insert(app, quorum.max(1));
+        self
+    }
+
+    /// τ(app): the required number of matching results.
+    #[must_use]
+    pub fn required(&self, app: AppId) -> usize {
+        self.per_app
+            .get(&app)
+            .copied()
+            .unwrap_or(self.default_quorum.max(1))
+    }
+}
+
+/// Synthetic cost model for contract execution.
+///
+/// The paper ran on 8-vCPU EC2 instances where contract execution consumed
+/// real CPU. This reproduction host has a single vCPU, so execution cost is
+/// modelled as a timed wait (I/O-bound-like), which preserves the
+/// parallel-vs-sequential shape of the results (see DESIGN.md §3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutionCosts {
+    /// Time to execute one transaction on an executor.
+    pub per_tx: Duration,
+    /// Fixed overhead per block for validation/bookkeeping on each node.
+    pub per_block: Duration,
+}
+
+impl ExecutionCosts {
+    /// A cost model with the given per-transaction execution time and no
+    /// per-block overhead.
+    #[must_use]
+    pub fn per_tx(cost: Duration) -> Self {
+        ExecutionCosts {
+            per_tx: cost,
+            per_block: Duration::ZERO,
+        }
+    }
+
+    /// Zero-cost execution (useful for logic-only tests).
+    #[must_use]
+    pub fn zero() -> Self {
+        ExecutionCosts {
+            per_tx: Duration::ZERO,
+            per_block: Duration::ZERO,
+        }
+    }
+}
+
+impl Default for ExecutionCosts {
+    /// 1 ms per transaction. With the default 16-worker executor pools
+    /// this yields the paper's relative ceilings: OX ≈ 1/per_tx,
+    /// XOV ≈ apps/per_tx, OXII ≈ pool·executors/per_tx (contention
+    /// permitting) — the OXII > XOV > OX ordering of §V.
+    fn default() -> Self {
+        ExecutionCosts {
+            per_tx: Duration::from_millis(1),
+            per_block: Duration::ZERO,
+        }
+    }
+}
+
+/// Top-level knobs shared by all three systems (OX, XOV, OXII).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SystemConfig {
+    /// Block-cutting conditions.
+    pub block_cut: BlockCutConfig,
+    /// Commit / endorsement policy τ.
+    pub commit_policy: CommitPolicy,
+    /// Synthetic execution cost model.
+    pub costs: ExecutionCosts,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_block_cut_matches_paper_sweet_spot() {
+        assert_eq!(BlockCutConfig::default().max_txns, 200);
+    }
+
+    #[test]
+    fn commit_policy_lookup() {
+        let policy = CommitPolicy::uniform(2).with_app(AppId(1), 3);
+        assert_eq!(policy.required(AppId(0)), 2);
+        assert_eq!(policy.required(AppId(1)), 3);
+    }
+
+    #[test]
+    fn commit_policy_never_returns_zero() {
+        let policy = CommitPolicy::uniform(0).with_app(AppId(1), 0);
+        assert_eq!(policy.required(AppId(0)), 1);
+        assert_eq!(policy.required(AppId(1)), 1);
+        assert_eq!(CommitPolicy::default().required(AppId(9)), 1);
+    }
+
+    #[test]
+    fn execution_costs_constructors() {
+        assert_eq!(ExecutionCosts::zero().per_tx, Duration::ZERO);
+        let c = ExecutionCosts::per_tx(Duration::from_micros(50));
+        assert_eq!(c.per_tx, Duration::from_micros(50));
+        assert_eq!(c.per_block, Duration::ZERO);
+    }
+}

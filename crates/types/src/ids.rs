@@ -1,0 +1,185 @@
+//! Identifier newtypes (C-NEWTYPE): distinct types for node, client,
+//! application, transaction and block identities so they cannot be confused.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identity of a peer in the network (orderer, executor, or client host).
+///
+/// # Examples
+///
+/// ```
+/// use parblock_types::NodeId;
+/// let n = NodeId(3);
+/// assert_eq!(n.to_string(), "n3");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identity of a client issuing transactions.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ClientId(pub u32);
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Identity of a distributed application (smart contract) deployed on the
+/// blockchain. The paper denotes applications `A1..An`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct AppId(pub u16);
+
+impl fmt::Display for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{}", self.0)
+    }
+}
+
+/// Block sequence number; block `n` links to block `n - 1` by hash.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct BlockNumber(pub u64);
+
+impl BlockNumber {
+    /// The genesis block number.
+    pub const GENESIS: BlockNumber = BlockNumber(0);
+
+    /// The next block number.
+    #[must_use]
+    pub fn next(self) -> BlockNumber {
+        BlockNumber(self.0 + 1)
+    }
+
+    /// The previous block number, or `None` for the genesis block.
+    #[must_use]
+    pub fn prev(self) -> Option<BlockNumber> {
+        self.0.checked_sub(1).map(BlockNumber)
+    }
+}
+
+impl fmt::Display for BlockNumber {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Globally unique transaction identifier.
+///
+/// Composed of the issuing client and that client's local timestamp, which
+/// the paper uses "to totally order the requests of each client and to
+/// ensure exactly-once semantics" (§IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TxId {
+    /// The client that issued the transaction.
+    pub client: ClientId,
+    /// The client-local timestamp (monotonically increasing per client).
+    pub client_ts: u64,
+}
+
+impl TxId {
+    /// Creates a transaction id from its parts.
+    #[must_use]
+    pub fn new(client: ClientId, client_ts: u64) -> Self {
+        TxId { client, client_ts }
+    }
+}
+
+impl fmt::Display for TxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}.{}", self.client.0, self.client_ts)
+    }
+}
+
+/// Position of a transaction inside a block; doubles as the timestamp
+/// `ts(T)` of §III-A (earlier position ⇒ smaller timestamp).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct SeqNo(pub u32);
+
+impl fmt::Display for SeqNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+/// The role a node plays in the OXII paradigm (§III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Role {
+    /// Sends operations to be executed by the blockchain.
+    Client,
+    /// Agrees on a total order of all transactions and builds blocks.
+    Orderer,
+    /// Validates and executes transactions (an agent for ≥1 application).
+    Executor,
+    /// An executor-side peer that is an agent for no application in the
+    /// current workload; it only applies committed state (Fig 7d).
+    NonExecutor,
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Role::Client => "client",
+            Role::Orderer => "orderer",
+            Role::Executor => "executor",
+            Role::NonExecutor => "non-executor",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId(1).to_string(), "n1");
+        assert_eq!(ClientId(2).to_string(), "c2");
+        assert_eq!(AppId(3).to_string(), "A3");
+        assert_eq!(BlockNumber(4).to_string(), "#4");
+        assert_eq!(TxId::new(ClientId(1), 9).to_string(), "t1.9");
+        assert_eq!(SeqNo(5).to_string(), "@5");
+        assert_eq!(Role::Orderer.to_string(), "orderer");
+    }
+
+    #[test]
+    fn block_number_navigation() {
+        assert_eq!(BlockNumber::GENESIS.prev(), None);
+        assert_eq!(BlockNumber(1).prev(), Some(BlockNumber(0)));
+        assert_eq!(BlockNumber(1).next(), BlockNumber(2));
+    }
+
+    #[test]
+    fn tx_ids_order_by_client_then_ts() {
+        let a = TxId::new(ClientId(1), 5);
+        let b = TxId::new(ClientId(1), 6);
+        let c = TxId::new(ClientId(2), 0);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn ids_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NodeId>();
+        assert_send_sync::<TxId>();
+        assert_send_sync::<Role>();
+    }
+}

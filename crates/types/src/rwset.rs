@@ -1,0 +1,209 @@
+//! Record keys and read/write sets.
+//!
+//! The paper assumes "the read-set and write-set are pre-declared or can be
+//! obtained from the transactions via a static analysis" (§III-A). A
+//! [`RwSet`] carries both sets and answers the conflict predicates used to
+//! build ordering dependencies.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Primary key of a record in the blockchain state (datastore).
+///
+/// The paper's example application keys accounts by number (e.g. account
+/// `1001`), so a `u64` key space suffices and keeps set operations cheap.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Key(pub u64);
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+impl From<u64> for Key {
+    fn from(raw: u64) -> Self {
+        Key(raw)
+    }
+}
+
+/// The declared read set ρ(T) and write set ω(T) of a transaction.
+///
+/// # Examples
+///
+/// ```
+/// use parblock_types::{Key, RwSet};
+///
+/// let transfer = RwSet::new([Key(1001)], [Key(1001), Key(1002)]);
+/// let audit = RwSet::read_only([Key(1002)]);
+/// assert!(transfer.conflicts_with(&audit)); // ω ∩ ρ ≠ ∅
+/// assert!(!audit.conflicts_with(&audit)); // reads never conflict
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct RwSet {
+    reads: BTreeSet<Key>,
+    writes: BTreeSet<Key>,
+}
+
+impl RwSet {
+    /// Creates a read/write set from iterators of keys.
+    pub fn new<R, W>(reads: R, writes: W) -> Self
+    where
+        R: IntoIterator<Item = Key>,
+        W: IntoIterator<Item = Key>,
+    {
+        RwSet {
+            reads: reads.into_iter().collect(),
+            writes: writes.into_iter().collect(),
+        }
+    }
+
+    /// A read-only set (ω = ∅).
+    pub fn read_only<R: IntoIterator<Item = Key>>(reads: R) -> Self {
+        Self::new(reads, [])
+    }
+
+    /// A write-only set (ρ = ∅).
+    pub fn write_only<W: IntoIterator<Item = Key>>(writes: W) -> Self {
+        Self::new([], writes)
+    }
+
+    /// The read set ρ(T).
+    pub fn reads(&self) -> &BTreeSet<Key> {
+        &self.reads
+    }
+
+    /// The write set ω(T).
+    pub fn writes(&self) -> &BTreeSet<Key> {
+        &self.writes
+    }
+
+    /// Adds a key to the read set.
+    pub fn add_read(&mut self, key: Key) {
+        self.reads.insert(key);
+    }
+
+    /// Adds a key to the write set.
+    pub fn add_write(&mut self, key: Key) {
+        self.writes.insert(key);
+    }
+
+    /// Returns `true` when both sets are empty.
+    pub fn is_empty(&self) -> bool {
+        self.reads.is_empty() && self.writes.is_empty()
+    }
+
+    /// Every key touched by the transaction (ρ ∪ ω), deduplicated.
+    pub fn touched(&self) -> BTreeSet<Key> {
+        self.reads.union(&self.writes).copied().collect()
+    }
+
+    /// §III-A conflict test: two transactions conflict if they access the
+    /// same data and at least one access is a write. This is the symmetric
+    /// predicate; direction comes from block order.
+    #[must_use]
+    pub fn conflicts_with(&self, other: &RwSet) -> bool {
+        self.rw_conflict(other) || other.rw_conflict(self) || self.ww_conflict(other)
+    }
+
+    /// ρ(self) ∩ ω(other) ≠ ∅ — `other` overwrites something `self` reads.
+    #[must_use]
+    pub fn rw_conflict(&self, other: &RwSet) -> bool {
+        intersects(&self.reads, &other.writes)
+    }
+
+    /// ω(self) ∩ ω(other) ≠ ∅ — both write a common record.
+    #[must_use]
+    pub fn ww_conflict(&self, other: &RwSet) -> bool {
+        intersects(&self.writes, &other.writes)
+    }
+
+    /// ω(self) ∩ ρ(other) ≠ ∅ — `other` reads something `self` writes.
+    ///
+    /// In the multi-version adaptation of §III-A this is the *only* pair
+    /// that forces an ordering dependency: a later read must observe the
+    /// earlier write's version.
+    #[must_use]
+    pub fn wr_conflict(&self, other: &RwSet) -> bool {
+        intersects(&self.writes, &other.reads)
+    }
+}
+
+fn intersects(a: &BTreeSet<Key>, b: &BTreeSet<Key>) -> bool {
+    // Iterate the smaller set and probe the larger: O(min·log max).
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    small.iter().any(|k| large.contains(k))
+}
+
+impl FromIterator<Key> for RwSet {
+    /// Collecting plain keys produces a read-only set; writes must be added
+    /// explicitly.
+    fn from_iter<I: IntoIterator<Item = Key>>(iter: I) -> Self {
+        RwSet::read_only(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(raw: &[u64]) -> Vec<Key> {
+        raw.iter().copied().map(Key).collect()
+    }
+
+    #[test]
+    fn conflict_rules_match_paper_definition() {
+        // T1 reads {a}, writes {b}; T4 reads {b}: ω(T1) ∩ ρ(T4) ≠ ∅.
+        let t1 = RwSet::new(keys(&[1]), keys(&[2]));
+        let t4 = RwSet::read_only(keys(&[2]));
+        assert!(t1.wr_conflict(&t4));
+        assert!(t1.conflicts_with(&t4));
+        assert!(t4.conflicts_with(&t1)); // symmetric predicate
+
+        // Write-write conflict on d.
+        let t5 = RwSet::write_only(keys(&[4]));
+        let t2 = RwSet::write_only(keys(&[4]));
+        assert!(t5.ww_conflict(&t2));
+        assert!(t5.conflicts_with(&t2));
+
+        // Read-read never conflicts.
+        let r1 = RwSet::read_only(keys(&[9]));
+        let r2 = RwSet::read_only(keys(&[9]));
+        assert!(!r1.conflicts_with(&r2));
+    }
+
+    #[test]
+    fn disjoint_sets_do_not_conflict() {
+        let a = RwSet::new(keys(&[1, 2]), keys(&[3]));
+        let b = RwSet::new(keys(&[4]), keys(&[5, 6]));
+        assert!(!a.conflicts_with(&b));
+    }
+
+    #[test]
+    fn touched_is_union() {
+        let s = RwSet::new(keys(&[1, 2]), keys(&[2, 3]));
+        assert_eq!(s.touched(), keys(&[1, 2, 3]).into_iter().collect());
+    }
+
+    #[test]
+    fn builders_and_mutators() {
+        let mut s = RwSet::default();
+        assert!(s.is_empty());
+        s.add_read(Key(7));
+        s.add_write(Key(8));
+        assert!(!s.is_empty());
+        assert!(s.reads().contains(&Key(7)));
+        assert!(s.writes().contains(&Key(8)));
+    }
+
+    #[test]
+    fn from_iterator_is_read_only() {
+        let s: RwSet = keys(&[1, 2, 3]).into_iter().collect();
+        assert_eq!(s.reads().len(), 3);
+        assert!(s.writes().is_empty());
+    }
+}

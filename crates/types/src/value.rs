@@ -1,0 +1,139 @@
+//! Values stored in the blockchain state.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A value stored under a [`Key`](crate::Key) in the blockchain state.
+///
+/// The accounting application of §V stores integer balances; other
+/// contracts may store text or raw bytes.
+///
+/// # Examples
+///
+/// ```
+/// use parblock_types::Value;
+///
+/// let balance = Value::Int(100);
+/// assert_eq!(balance.as_int(), Some(100));
+/// assert_eq!(Value::Text("ok".into()).as_int(), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Value {
+    /// The absent / deleted value.
+    #[default]
+    Unit,
+    /// A signed integer (account balances, counters).
+    Int(i64),
+    /// A UTF-8 string.
+    Text(String),
+    /// Raw bytes.
+    Bytes(Vec<u8>),
+}
+
+impl Value {
+    /// Returns the integer content, if this is an [`Value::Int`].
+    #[must_use]
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the text content, if this is a [`Value::Text`].
+    #[must_use]
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the byte content, if this is a [`Value::Bytes`].
+    #[must_use]
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for [`Value::Unit`].
+    #[must_use]
+    pub fn is_unit(&self) -> bool {
+        matches!(self, Value::Unit)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Text(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Text(s)
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(b: Vec<u8>) -> Self {
+        Value::Bytes(b)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => f.write_str("()"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Text(s) => write!(f, "{s:?}"),
+            Value::Bytes(b) => write!(f, "0x{}", hex(b)),
+        }
+    }
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(5).as_int(), Some(5));
+        assert_eq!(Value::from("hi").as_text(), Some("hi"));
+        assert_eq!(Value::from(vec![1u8]).as_bytes(), Some(&[1u8][..]));
+        assert!(Value::Unit.is_unit());
+        assert!(Value::default().is_unit());
+    }
+
+    #[test]
+    fn display_is_never_empty() {
+        for v in [
+            Value::Unit,
+            Value::Int(-3),
+            Value::from("x"),
+            Value::from(vec![0xab_u8]),
+        ] {
+            assert!(!v.to_string().is_empty());
+        }
+        assert_eq!(Value::from(vec![0xab_u8]).to_string(), "0xab");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(7i64), Value::Int(7));
+        assert_eq!(Value::from(String::from("s")), Value::Text("s".into()));
+    }
+}

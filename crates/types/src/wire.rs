@@ -1,0 +1,229 @@
+//! A tiny deterministic binary encoding.
+//!
+//! Hashing and signing need a canonical byte representation of transactions
+//! and block headers. Rather than pull in a serialization framework, this
+//! module provides a little-endian, length-prefixed encoding whose output is
+//! a pure function of the value — sufficient for cryptographic commitments
+//! inside a single build of the system.
+//!
+//! # Examples
+//!
+//! ```
+//! use parblock_types::wire::Wire;
+//!
+//! let mut buf = Vec::new();
+//! 7u64.encode(&mut buf);
+//! assert_eq!(buf.len(), 8);
+//! ```
+
+use std::collections::BTreeSet;
+
+use crate::Key;
+
+/// Types with a canonical byte encoding used for hashing and signing.
+pub trait Wire {
+    /// Appends the canonical encoding of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Convenience: encodes into a fresh buffer.
+    fn wire_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+}
+
+impl Wire for u8 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self);
+    }
+}
+
+impl Wire for u32 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+}
+
+impl Wire for u64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+}
+
+impl Wire for i64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+}
+
+impl Wire for [u8] {
+    /// Length-prefixed byte string.
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        out.extend_from_slice(self);
+    }
+}
+
+impl Wire for Vec<u8> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.as_slice().encode(out);
+    }
+}
+
+impl Wire for str {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.as_bytes().encode(out);
+    }
+}
+
+/// Encodes a slice of `Wire` values with a length prefix.
+pub fn encode_slice<T: Wire>(items: &[T], out: &mut Vec<u8>) {
+    (items.len() as u64).encode(out);
+    for item in items {
+        item.encode(out);
+    }
+}
+
+/// Encodes an ordered set of keys (length-prefixed, ascending order — the
+/// `BTreeSet` iteration order makes this canonical).
+pub fn encode_key_set(set: &BTreeSet<Key>, out: &mut Vec<u8>) {
+    (set.len() as u64).encode(out);
+    for key in set {
+        key.0.encode(out);
+    }
+}
+
+/// A cursor for decoding [`Wire`]-encoded bytes.
+///
+/// Every read returns `None` on truncated input rather than panicking, so
+/// malformed network payloads surface as decode failures.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `bytes`.
+    #[must_use]
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    /// Bytes remaining to read.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Returns `true` when all input has been consumed.
+    #[must_use]
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let slice = self.bytes.get(self.pos..self.pos + n)?;
+        self.pos += n;
+        Some(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Option<u32> {
+        self.take(4).map(|s| u32::from_le_bytes(s.try_into().expect("4")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Option<u64> {
+        self.take(8).map(|s| u64::from_le_bytes(s.try_into().expect("8")))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn i64(&mut self) -> Option<i64> {
+        self.take(8).map(|s| i64::from_le_bytes(s.try_into().expect("8")))
+    }
+
+    /// Reads a length-prefixed byte string (as written by `[u8]::encode`).
+    pub fn bytes(&mut self) -> Option<&'a [u8]> {
+        let len = self.u64()?;
+        let len = usize::try_from(len).ok()?;
+        if len > self.remaining() {
+            return None;
+        }
+        self.take(len)
+    }
+
+    /// Reads a key set written by [`encode_key_set`].
+    pub fn key_set(&mut self) -> Option<BTreeSet<Key>> {
+        let len = self.u64()?;
+        let len = usize::try_from(len).ok()?;
+        if len > self.remaining() / 8 {
+            return None; // each key is 8 bytes; cheap bound check
+        }
+        let mut set = BTreeSet::new();
+        for _ in 0..len {
+            set.insert(Key(self.u64()?));
+        }
+        Some(set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip_shape() {
+        let mut out = Vec::new();
+        1u8.encode(&mut out);
+        2u32.encode(&mut out);
+        3u64.encode(&mut out);
+        (-4i64).encode(&mut out);
+        assert_eq!(out.len(), 1 + 4 + 8 + 8);
+    }
+
+    #[test]
+    fn byte_strings_are_length_prefixed() {
+        let bytes = vec![9u8, 8, 7];
+        let enc = bytes.wire_bytes();
+        assert_eq!(&enc[..8], &3u64.to_le_bytes());
+        assert_eq!(&enc[8..], &[9, 8, 7]);
+    }
+
+    #[test]
+    fn length_prefix_prevents_concat_ambiguity() {
+        // ("a", "bc") must encode differently from ("ab", "c").
+        let mut one = Vec::new();
+        "a".encode(&mut one);
+        "bc".encode(&mut one);
+        let mut two = Vec::new();
+        "ab".encode(&mut two);
+        "c".encode(&mut two);
+        assert_ne!(one, two);
+    }
+
+    #[test]
+    fn key_sets_are_canonical() {
+        let a: BTreeSet<Key> = [Key(3), Key(1), Key(2)].into_iter().collect();
+        let b: BTreeSet<Key> = [Key(1), Key(2), Key(3)].into_iter().collect();
+        let mut ea = Vec::new();
+        let mut eb = Vec::new();
+        encode_key_set(&a, &mut ea);
+        encode_key_set(&b, &mut eb);
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn slices_of_wire_types_encode() {
+        let xs: Vec<u64> = vec![1, 2, 3];
+        let mut enc = Vec::new();
+        encode_slice(&xs, &mut enc);
+        assert_eq!(enc.len(), 8 + 3 * 8);
+    }
+}

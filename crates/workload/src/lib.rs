@@ -1,0 +1,38 @@
+//! Workload generation for the ParBlockchain evaluation (§V).
+//!
+//! The paper's experiments run an accounting application under workloads
+//! with a controlled *degree of contention*: no-contention (0 %),
+//! low-contention (20 %), high-contention (80 %) and full-contention
+//! (100 %), where the degree is the fraction of transactions in a block
+//! that conflict with another transaction of the same block. At 100 % the
+//! dependency graph of each block is a chain.
+//!
+//! Contention may be placed *within* one application or *across*
+//! applications (the `OXII*` dashed lines of Fig 6): in the cross-app
+//! variant, consecutive conflicting transactions belong to different
+//! applications, forcing the agents to exchange commit messages mid-block.
+//!
+//! # Examples
+//!
+//! ```
+//! use parblock_workload::{WorkloadConfig, WorkloadGen};
+//! use parblock_types::AppId;
+//!
+//! let mut gen = WorkloadGen::new(WorkloadConfig {
+//!     apps: vec![AppId(0), AppId(1), AppId(2)],
+//!     contention: 0.2,
+//!     block_size: 10,
+//!     ..WorkloadConfig::default()
+//! });
+//! let window = gen.window();
+//! assert_eq!(window.len(), 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod generator;
+mod zipf;
+
+pub use generator::{HotspotConfig, WorkloadConfig, WorkloadGen};
+pub use zipf::Zipf;

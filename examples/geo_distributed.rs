@@ -1,0 +1,49 @@
+//! Geo-distribution demo (the paper's Fig 7 scenario): move one node
+//! group to a far datacenter and watch who pays for it.
+//!
+//! XOV suffers most when *clients* move (its clients participate in the
+//! endorsement round-trip); OXII is unaffected when *non-executors* move
+//! (they only receive state updates).
+//!
+//! ```sh
+//! cargo run --release --example geo_distributed
+//! ```
+
+use std::time::Duration;
+
+use parblockchain::{run, ClusterSpec, LoadSpec, MovedGroup, SystemKind};
+
+fn main() {
+    let load = LoadSpec {
+        rate_tps: 1_000.0,
+        duration: Duration::from_millis(1500),
+        drain: Duration::from_secs(1),
+    };
+
+    let moves: [(&str, Option<MovedGroup>); 3] = [
+        ("all nodes local", None),
+        ("clients far", Some(MovedGroup::Clients)),
+        ("non-executors far", Some(MovedGroup::NonExecutors)),
+    ];
+
+    println!(
+        "{:<20} {:<8} {:>9} {:>12}",
+        "placement", "system", "tx/s", "avg latency"
+    );
+    for (label, moved) in moves {
+        for system in [SystemKind::Xov, SystemKind::Oxii] {
+            let mut spec = ClusterSpec::new(system);
+            spec.topology.moved = moved;
+            spec.topology.inter = Duration::from_millis(10);
+            let report = run(&spec, &load);
+            println!(
+                "{:<20} {:<8} {:>9.0} {:>9.2} ms",
+                label,
+                system.to_string(),
+                report.throughput_tps(),
+                report.avg_latency().as_secs_f64() * 1e3,
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,46 @@
+//! Hotspot workload demo: beyond the paper's exact contention dial, this
+//! reproduction ships a Zipf-skewed hot-key workload (the access pattern
+//! of "a few popular records"). The demo compares OXII and XOV as the
+//! hot fraction grows.
+//!
+//! ```sh
+//! cargo run --release --example hotspot
+//! ```
+
+use std::time::Duration;
+
+use parblockchain::{run, ClusterSpec, LoadSpec, SystemKind};
+use parblockchain_repro::workload::HotspotConfig;
+
+fn main() {
+    let load = LoadSpec {
+        rate_tps: 1_500.0,
+        duration: Duration::from_millis(1500),
+        drain: Duration::from_millis(800),
+    };
+
+    println!(
+        "{:<10} {:<8} {:>9} {:>9} {:>12}",
+        "hot frac", "system", "tx/s", "aborted", "avg latency"
+    );
+    for fraction in [0.1, 0.3, 0.6] {
+        for system in [SystemKind::Xov, SystemKind::Oxii] {
+            let mut spec = ClusterSpec::new(system);
+            spec.workload.hotspot = Some(HotspotConfig {
+                keys: 16,
+                exponent: 1.0,
+                fraction,
+            });
+            let report = run(&spec, &load);
+            println!(
+                "{:<10.1} {:<8} {:>9.0} {:>9} {:>9.2} ms",
+                fraction,
+                system.to_string(),
+                report.throughput_tps(),
+                report.aborted,
+                report.avg_latency().as_secs_f64() * 1e3,
+            );
+        }
+        println!();
+    }
+}

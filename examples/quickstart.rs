@@ -1,0 +1,42 @@
+//! Quickstart: bring up a ParBlockchain (OXII) cluster, push a small
+//! accounting workload through it, and print what happened.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use std::time::Duration;
+
+use parblockchain::{run, ClusterSpec, LoadSpec, SystemKind};
+
+fn main() {
+    // A paper-like cluster: 3 orderers running the Kafka-like quorum
+    // sequencer, 3 applications with one executor (agent) each, one
+    // passive peer, 200-transaction blocks.
+    let mut spec = ClusterSpec::new(SystemKind::Oxii);
+    spec.workload.contention = 0.2; // 20 % of each block conflicts
+
+    let load = LoadSpec {
+        rate_tps: 2_000.0,
+        duration: Duration::from_secs(2),
+        drain: Duration::from_millis(800),
+    };
+
+    println!("starting OXII cluster: {} orderers, {} apps, block size {}",
+        spec.orderers, spec.apps, spec.block_cut.max_txns);
+    let report = run(&spec, &load);
+
+    println!("blocks processed : {}", report.blocks);
+    println!("committed        : {}", report.committed);
+    println!("aborted          : {}", report.aborted);
+    println!("throughput       : {:.0} tx/s", report.throughput_tps());
+    println!("avg latency      : {:.2} ms", report.avg_latency().as_secs_f64() * 1e3);
+    println!(
+        "p95 latency      : {:.2} ms",
+        report.latency_percentile(0.95).as_secs_f64() * 1e3
+    );
+
+    assert!(report.committed > 0, "the cluster should commit transactions");
+}

@@ -1,0 +1,15 @@
+//! Umbrella crate for the ParBlockchain reproduction: re-exports the
+//! workspace crates for the examples and cross-crate integration tests.
+//!
+//! See the repository `README.md` for an overview and `DESIGN.md` for the
+//! system inventory and experiment index.
+
+pub use parblock_consensus as consensus;
+pub use parblock_contracts as contracts;
+pub use parblock_crypto as crypto;
+pub use parblock_depgraph as depgraph;
+pub use parblock_ledger as ledger;
+pub use parblock_net as net;
+pub use parblock_types as types;
+pub use parblock_workload as workload;
+pub use parblockchain as system;
