@@ -166,8 +166,8 @@ impl OpGraph {
     /// Critical path measured in *transactions*: the longest chain of
     /// distinct transactions along operation dependencies. This is the
     /// number an executor's scheduler experiences; comparing it to the
-    /// transaction-level [`ExecutionLayers::critical_path`]
-    /// (see [`crate::ExecutionLayers`]) quantifies the DGCC-style gain.
+    /// transaction-level [`crate::ExecutionLayers::critical_path`]
+    /// quantifies the DGCC-style gain.
     #[must_use]
     pub fn tx_critical_path(&self) -> usize {
         let n = self.ops.len();

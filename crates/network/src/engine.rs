@@ -236,7 +236,14 @@ impl<M: Send + 'static> std::fmt::Debug for SimNetwork<M> {
 fn deliver_to<M: Send + 'static>(shared: &Shared<M>, to: NodeId, envelope: Envelope<M>) {
     let mailboxes = shared.mailboxes.read();
     match mailboxes.get(&to) {
-        Some(tx) if tx.send(envelope).is_ok() => shared.stats.record_delivered(),
+        Some(tx) => {
+            // Count before handing over: a receiver that has already
+            // drained this envelope must observe the incremented counter.
+            shared.stats.record_delivered();
+            if tx.send(envelope).is_err() {
+                shared.stats.record_delivery_failed();
+            }
+        }
         _ => shared.stats.record_dropped(),
     }
 }
@@ -261,6 +268,13 @@ fn delivery_loop<M: Send + 'static>(shared: &Shared<M>) {
                     deliver_to(shared, item.to, item.envelope);
                 });
             }
+        }
+        // Re-check before sleeping: `shutdown` may have been set (and its
+        // notification sent) while the queue lock was released inside the
+        // delivery pass above; the lock is then held from this check until
+        // the wait parks, so the flag cannot be missed again.
+        if queue.shutdown {
+            return;
         }
         match queue.heap.peek() {
             Some(Reverse(key)) => {

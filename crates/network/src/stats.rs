@@ -39,6 +39,13 @@ impl NetStats {
         self.inner.dropped.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Reclassifies an optimistically counted delivery as dropped (the
+    /// destination mailbox turned out to be closed).
+    pub(crate) fn record_delivery_failed(&self) {
+        self.inner.delivered.fetch_sub(1, Ordering::Relaxed);
+        self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Messages handed to the network.
     #[must_use]
     pub fn sent(&self) -> u64 {

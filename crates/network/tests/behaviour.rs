@@ -43,9 +43,12 @@ fn jitter_spreads_latencies_but_preserves_bounds() {
     }
     let min = latencies.iter().min().copied().expect("non-empty");
     let max = latencies.iter().max().copied().expect("non-empty");
-    // Bounds: 2 ms ± 50 % plus scheduling slack.
+    // Lower bound: the latency model never delivers early (2 ms − 50 %
+    // jitter). Upper bound: generous — it only guards against unbounded
+    // waits, since OS scheduling slack under a parallel test run can add
+    // tens of milliseconds on top of the modelled 3 ms worst case.
     assert!(min >= Duration::from_micros(900), "min {min:?}");
-    assert!(max <= Duration::from_millis(20), "max {max:?}");
+    assert!(max <= Duration::from_millis(200), "max {max:?}");
     assert!(max > min, "jitter should spread deliveries");
     net.shutdown();
 }

@@ -1,0 +1,333 @@
+//! Offline API-subset shim for `criterion`.
+//!
+//! Provides the measurement API shape the workspace's benches use —
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Throughput`],
+//! `b.iter(..)`, and the [`criterion_group!`] / [`criterion_main!`]
+//! macros — with a deliberately simple measurement loop: one warm-up
+//! call sizes the iteration count against a bounded time budget, then a
+//! timed loop reports mean ns/iter (and MiB/s when a byte throughput is
+//! set) to stdout. No statistics, outlier analysis, or HTML reports;
+//! swap the workspace dependency back to the real crate for those. See
+//! DESIGN.md §7 for the shim policy.
+
+use std::fmt::{self, Display};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Hard per-benchmark cap so `cargo bench` stays interactive even when a
+/// single iteration is seconds long (the cluster benches).
+const MAX_MEASURE_TIME: Duration = Duration::from_millis(300);
+
+/// Top-level benchmark driver and configuration.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 50,
+            measurement_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target number of timed iterations.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the per-benchmark time budget (capped by the shim).
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            id,
+            None,
+            self.sample_size,
+            self.measurement_time,
+            &mut f,
+        );
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        let measurement_time = self.measurement_time;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size,
+            measurement_time,
+            throughput: None,
+        }
+    }
+}
+
+/// Per-element/byte rates reported alongside timings.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Input bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new<F: Display, P: Display>(function_name: F, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of timed iterations for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the group's time budget (capped by the shim).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the throughput used for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark over `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(
+            &label,
+            self.throughput,
+            self.sample_size,
+            self.measurement_time,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Runs one benchmark without an input parameter.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(
+            &label,
+            self.throughput,
+            self.sample_size,
+            self.measurement_time,
+            &mut f,
+        );
+        self
+    }
+
+    /// Ends the group (formatting separator only in the shim).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] performs the timing.
+pub struct Bencher {
+    sample_size: usize,
+    budget: Duration,
+    /// Mean duration of one iteration, filled by `iter`.
+    mean: Option<Duration>,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean cost of one call.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // One warm-up call, timed, to size the loop.
+        let start = Instant::now();
+        black_box(routine());
+        let first = start.elapsed().max(Duration::from_nanos(1));
+
+        let budget = self.budget.min(MAX_MEASURE_TIME);
+        let by_budget = (budget.as_nanos() / first.as_nanos()).max(1);
+        let iters = (self.sample_size as u128).min(by_budget) as u64;
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let total = start.elapsed();
+        self.mean = Some(total / u32::try_from(iters).unwrap_or(u32::MAX));
+        self.iters = iters;
+    }
+}
+
+fn run_one(
+    label: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    budget: Duration,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        sample_size,
+        budget,
+        mean: None,
+        iters: 0,
+    };
+    f(&mut bencher);
+    match bencher.mean {
+        Some(mean) => {
+            let rate = match throughput {
+                Some(Throughput::Bytes(bytes)) if mean > Duration::ZERO => {
+                    let mib_s =
+                        bytes as f64 / (1024.0 * 1024.0) / mean.as_secs_f64();
+                    format!("  ({mib_s:.1} MiB/s)")
+                }
+                Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+                    let elem_s = n as f64 / mean.as_secs_f64();
+                    format!("  ({elem_s:.0} elem/s)")
+                }
+                _ => String::new(),
+            };
+            println!(
+                "{label:<48} {:>14.1} ns/iter  [{} iters]{rate}",
+                mean.as_nanos() as f64,
+                bencher.iters
+            );
+        }
+        None => println!("{label:<48} (no measurement: closure never called iter)"),
+    }
+}
+
+/// Declares a benchmark group function, in either criterion form:
+/// `criterion_group!(name, target_a, target_b)` or the
+/// `name = ...; config = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    ( name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)? ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ( $name:ident, $($target:path),+ $(,)? ) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the `main` function running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ( $($group:path),+ $(,)? ) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut calls = 0u64;
+        c.bench_function("shim_self_test", |b| {
+            b.iter(|| {
+                calls += 1;
+                std::hint::black_box(calls)
+            });
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn groups_run_each_benchmark() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3).measurement_time(Duration::from_millis(5));
+        group.throughput(Throughput::Bytes(1024));
+        let data = vec![1u8; 64];
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::new("case", 64), &data, |b, d| {
+            b.iter(|| d.iter().map(|&x| x as u64).sum::<u64>());
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    mod macro_shapes {
+        fn target(c: &mut crate::Criterion) {
+            c.bench_function("macro_shape", |b| b.iter(|| 1 + 1));
+        }
+        crate::criterion_group!(short_form, target);
+        crate::criterion_group! {
+            name = long_form;
+            config = crate::Criterion::default().sample_size(2);
+            targets = target, target
+        }
+
+        #[test]
+        fn both_macro_forms_expand_and_run() {
+            short_form();
+            long_form();
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline API-subset shim for `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` trait names and re-exports the
+//! (no-op) derive macros, mirroring the real crate's layout: the trait and
+//! the derive share a name across namespaces, so
+//! `use serde::{Deserialize, Serialize};` followed by
+//! `#[derive(Serialize, Deserialize)]` compiles exactly as it would
+//! against the real crate. See DESIGN.md §7 for the shim policy.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+///
+/// The shim derives do not implement it; nothing in the workspace
+/// requires the bound.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
