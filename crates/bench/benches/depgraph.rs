@@ -2,9 +2,9 @@
 //! the Fig 5 throughput rolloff (graph generation grows with block size)
 //! and the single- vs multi-version ablation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 
-use parblock_depgraph::{DependencyGraph, DependencyMode, ExecutionLayers};
+use parblock_depgraph::{DependencyGraph, DependencyMode, ExecutionLayers, StreamingBuilder};
 use parblock_types::{Block, BlockNumber, Hash32};
 use parblock_workload::{WorkloadConfig, WorkloadGen};
 
@@ -27,6 +27,53 @@ fn bench_build_by_size(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("reduced", size), &block, |b, blk| {
             b.iter(|| DependencyGraph::build(blk, DependencyMode::Reduced));
         });
+    }
+    group.finish();
+}
+
+/// Batch vs streaming construction at Fig 5 block sizes, `Full` mode —
+/// the `ablation-streaming` microcosm. `batch_full` is the O(n²)
+/// rebuild the orderer used to pay between cut and `NEWBLOCK`;
+/// `streaming_total` is the same work amortised over the stream
+/// (observe × n + finish); `streaming_cut` is what actually remains on
+/// the ordering critical path at cut time — `finish` alone, O(pending).
+fn bench_batch_vs_streaming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("depgraph_batch_vs_streaming");
+    for size in [10usize, 50, 100, 200, 400, 700, 1000] {
+        let block = block_of(size, 0.2);
+        group.bench_with_input(BenchmarkId::new("batch_full", size), &block, |b, blk| {
+            b.iter(|| DependencyGraph::build(blk, DependencyMode::Full));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("streaming_total", size),
+            &block,
+            |b, blk| {
+                b.iter(|| {
+                    let mut builder = StreamingBuilder::new(DependencyMode::Full);
+                    for tx in blk.transactions() {
+                        builder.observe(tx);
+                    }
+                    builder.finish()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("streaming_cut", size),
+            &block,
+            |b, blk| {
+                b.iter_batched(
+                    || {
+                        let mut builder = StreamingBuilder::new(DependencyMode::Full);
+                        for tx in blk.transactions() {
+                            builder.observe(tx);
+                        }
+                        builder
+                    },
+                    |mut builder| builder.finish(),
+                    BatchSize::SmallInput,
+                );
+            },
+        );
     }
     group.finish();
 }
@@ -64,6 +111,6 @@ fn bench_op_graph(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_build_by_size, bench_build_by_contention, bench_layers, bench_op_graph
+    targets = bench_build_by_size, bench_batch_vs_streaming, bench_build_by_contention, bench_layers, bench_op_graph
 }
 criterion_main!(benches);

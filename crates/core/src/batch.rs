@@ -8,7 +8,7 @@
 //! in the consensus step" (§IV-B).
 
 use parblock_types::wire::{Reader, Wire};
-use parblock_types::Transaction;
+use parblock_types::{ClientId, Transaction, TxId};
 
 const TAG_BATCH: u8 = 0;
 const TAG_CUT: u8 = 1;
@@ -18,8 +18,17 @@ const TAG_CUT: u8 = 1;
 pub enum Payload {
     /// A batch of client transactions, in submission order.
     Batch(Vec<Transaction>),
-    /// The leader's cut-block marker (time-based cut condition).
-    CutMarker,
+    /// The leader's cut-block marker (time-based cut condition), tagged
+    /// with the oldest pending transaction it was ordered for. Cutters
+    /// ignore a marker whose tag no longer matches their oldest pending
+    /// transaction — a count/byte cut got there first, and cutting
+    /// whatever is now pending would prematurely flush a tiny fresh
+    /// block.
+    CutMarker {
+        /// Id of the first pending transaction at the leader when the
+        /// marker was ordered.
+        first_pending: TxId,
+    },
 }
 
 impl Payload {
@@ -35,7 +44,11 @@ impl Payload {
                     tx.encode(&mut out);
                 }
             }
-            Payload::CutMarker => out.push(TAG_CUT),
+            Payload::CutMarker { first_pending } => {
+                out.push(TAG_CUT);
+                first_pending.client.0.encode(&mut out);
+                first_pending.client_ts.encode(&mut out);
+            }
         }
         out
     }
@@ -53,7 +66,13 @@ impl Payload {
                 }
                 reader.is_exhausted().then_some(Payload::Batch(txs))
             }
-            TAG_CUT => reader.is_exhausted().then_some(Payload::CutMarker),
+            TAG_CUT => {
+                let client = ClientId(reader.u32()?);
+                let client_ts = reader.u64()?;
+                reader.is_exhausted().then_some(Payload::CutMarker {
+                    first_pending: TxId::new(client, client_ts),
+                })
+            }
             _ => None,
         }
     }
@@ -89,10 +108,10 @@ mod tests {
 
     #[test]
     fn cut_marker_round_trip() {
-        assert_eq!(
-            Payload::decode(&Payload::CutMarker.encode()),
-            Some(Payload::CutMarker)
-        );
+        let marker = Payload::CutMarker {
+            first_pending: TxId::new(ClientId(7), 99),
+        };
+        assert_eq!(Payload::decode(&marker.encode()), Some(marker));
     }
 
     #[test]
@@ -102,7 +121,13 @@ mod tests {
         let mut bytes = Payload::Batch(vec![tx(1)]).encode();
         bytes.truncate(bytes.len() - 1);
         assert_eq!(Payload::decode(&bytes), None);
-        // Trailing garbage after a cut marker.
+        // Truncated and over-long cut markers.
         assert_eq!(Payload::decode(&[TAG_CUT, 0]), None);
+        let mut marker = Payload::CutMarker {
+            first_pending: TxId::new(ClientId(1), 2),
+        }
+        .encode();
+        marker.push(0);
+        assert_eq!(Payload::decode(&marker), None);
     }
 }

@@ -12,6 +12,8 @@ use parblock_types::{
 };
 use parblock_workload::WorkloadConfig;
 
+pub use crate::cutter::GraphConstruction;
+
 /// Which of the three systems to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SystemKind {
@@ -111,6 +113,10 @@ pub struct ClusterSpec {
     pub costs: ExecutionCosts,
     /// Dependency-graph construction mode (OXII only).
     pub depgraph_mode: DependencyMode,
+    /// When the orderers compute each block's graph (OXII only):
+    /// incrementally over the transaction stream (default) or as a batch
+    /// rebuild at cut time (the `ablation-streaming` baseline).
+    pub graph_construction: GraphConstruction,
     /// Workload shape (contention etc.). `block_size` is kept in sync
     /// with `block_cut.max_txns` by [`ClusterSpec::workload_config`].
     pub workload: WorkloadConfig,
@@ -147,6 +153,7 @@ impl ClusterSpec {
             block_cut: BlockCutConfig::default(),
             costs: ExecutionCosts::default(),
             depgraph_mode: DependencyMode::Reduced,
+            graph_construction: GraphConstruction::default(),
             workload: WorkloadConfig::default(),
             topology: TopologySpec::default(),
             exec_pool: 16,

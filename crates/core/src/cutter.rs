@@ -9,11 +9,52 @@
 //! stream and are therefore deterministic across orderers; the time
 //! condition is driven by the ordered
 //! [`Payload::CutMarker`](crate::batch::Payload::CutMarker), which is
-//! equally deterministic.
+//! equally deterministic. A marker is tagged with the id of the first
+//! pending transaction the leader saw, so a marker that raced a
+//! count/byte cut (and would otherwise prematurely cut a tiny fresh
+//! block) is recognised as stale and ignored.
+//!
+//! For OXII the cutter also *co-maintains the dependency graph*: each
+//! pushed transaction is fed to a [`StreamingBuilder`], so a cut
+//! hands the orderer block transactions and finished graph together and
+//! the ordering critical path never pays a batch O(n²) rebuild
+//! (DESIGN.md §3). [`GraphConstruction::Batch`] keeps the old rebuild-at-
+//! cut behaviour as the ablation baseline.
 
 use std::time::Instant;
 
-use parblock_types::{BlockCutConfig, Transaction};
+use parblock_depgraph::{DependencyGraph, DependencyMode, StreamingBuilder};
+use parblock_types::{BlockCutConfig, Transaction, TxId};
+
+/// When the OXII orderer computes each block's dependency graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum GraphConstruction {
+    /// Incrementally while transactions stream in; cut-time emission is
+    /// O(pending). The default.
+    #[default]
+    Streaming,
+    /// Rebuilt from scratch at cut time (the paper's original pipeline;
+    /// O(n²) in [`DependencyMode::Full`]). Kept as the ablation baseline
+    /// for `repro ablation-streaming`.
+    Batch,
+}
+
+/// How the cutter obtains graphs, per [`GraphConstruction`].
+#[derive(Debug)]
+enum GraphEngine {
+    Streaming(StreamingBuilder),
+    Batch(DependencyMode),
+}
+
+/// One cut block: the transactions plus, for OXII cutters, the finished
+/// dependency graph over them (positions = vector order).
+#[derive(Debug)]
+pub struct CutBlock {
+    /// The block's transactions, in delivery order.
+    pub txs: Vec<Transaction>,
+    /// `G(B)` — `Some` iff the cutter was built with a graph mode.
+    pub graph: Option<DependencyGraph>,
+}
 
 /// Accumulates ordered transactions and cuts blocks.
 #[derive(Debug)]
@@ -24,17 +65,38 @@ pub struct BlockCutter {
     /// When the first pending transaction arrived (leader's local clock;
     /// used only to decide when to *order* a cut marker).
     first_arrival: Option<Instant>,
+    graph: Option<GraphEngine>,
 }
 
 impl BlockCutter {
-    /// Creates a cutter.
+    /// Creates a cutter without dependency-graph generation (OX / XOV).
     #[must_use]
     pub fn new(cfg: BlockCutConfig) -> Self {
+        Self::build(cfg, None)
+    }
+
+    /// Creates an OXII cutter that attaches a dependency graph to every
+    /// cut, computed per `construction`.
+    #[must_use]
+    pub fn with_graph(
+        cfg: BlockCutConfig,
+        mode: DependencyMode,
+        construction: GraphConstruction,
+    ) -> Self {
+        let engine = match construction {
+            GraphConstruction::Streaming => GraphEngine::Streaming(StreamingBuilder::new(mode)),
+            GraphConstruction::Batch => GraphEngine::Batch(mode),
+        };
+        Self::build(cfg, Some(engine))
+    }
+
+    fn build(cfg: BlockCutConfig, graph: Option<GraphEngine>) -> Self {
         BlockCutter {
             cfg,
             pending: Vec::new(),
             pending_bytes: 0,
             first_arrival: None,
+            graph,
         }
     }
 
@@ -44,11 +106,21 @@ impl BlockCutter {
         self.pending.len()
     }
 
-    /// Feeds one ordered transaction; returns a full block's transactions
+    /// Id of the oldest pending transaction — the tag a leader puts on a
+    /// cut marker so stale markers are recognised.
+    #[must_use]
+    pub fn first_pending(&self) -> Option<TxId> {
+        self.pending.first().map(Transaction::id)
+    }
+
+    /// Feeds one ordered transaction; returns a full block
     /// when a deterministic condition (count or bytes) is met.
-    pub fn push(&mut self, tx: Transaction) -> Option<Vec<Transaction>> {
+    pub fn push(&mut self, tx: Transaction) -> Option<CutBlock> {
         if self.pending.is_empty() {
             self.first_arrival = Some(Instant::now());
+        }
+        if let Some(GraphEngine::Streaming(builder)) = &mut self.graph {
+            builder.observe(&tx);
         }
         self.pending_bytes += tx.encoded_len();
         self.pending.push(tx);
@@ -58,13 +130,16 @@ impl BlockCutter {
         None
     }
 
-    /// Handles an ordered cut marker: cuts whatever is pending.
-    /// Returns `None` when nothing is pending (stale marker).
-    pub fn cut_marker(&mut self) -> Option<Vec<Transaction>> {
-        if self.pending.is_empty() {
-            None
-        } else {
+    /// Handles an ordered cut marker tagged with `first`: cuts the
+    /// pending block iff its oldest transaction is still the one the
+    /// leader saw when it ordered the marker. Returns `None` for stale
+    /// markers — nothing pending, or an intervening count/byte cut
+    /// already flushed the transactions the marker was meant for.
+    pub fn cut_marker(&mut self, first: TxId) -> Option<CutBlock> {
+        if self.first_pending() == Some(first) {
             Some(self.cut())
+        } else {
+            None
         }
     }
 
@@ -76,10 +151,20 @@ impl BlockCutter {
             .is_some_and(|t| t.elapsed() >= self.cfg.max_wait && !self.pending.is_empty())
     }
 
-    fn cut(&mut self) -> Vec<Transaction> {
+    fn cut(&mut self) -> CutBlock {
         self.pending_bytes = 0;
         self.first_arrival = None;
-        std::mem::take(&mut self.pending)
+        let graph = match &mut self.graph {
+            None => None,
+            Some(GraphEngine::Streaming(builder)) => Some(builder.finish()),
+            Some(GraphEngine::Batch(mode)) => {
+                Some(DependencyGraph::build_txs(&self.pending, *mode))
+            }
+        };
+        CutBlock {
+            txs: std::mem::take(&mut self.pending),
+            graph,
+        }
     }
 }
 
@@ -87,7 +172,7 @@ impl BlockCutter {
 mod tests {
     use std::time::Duration;
 
-    use parblock_types::{AppId, ClientId, RwSet};
+    use parblock_types::{AppId, ClientId, Key, RwSet, SeqNo};
 
     use super::*;
 
@@ -98,6 +183,16 @@ mod tests {
             ts,
             RwSet::default(),
             vec![0; payload_len],
+        )
+    }
+
+    fn writer(ts: u64, key: u64) -> Transaction {
+        Transaction::new(
+            AppId(0),
+            ClientId(1),
+            ts,
+            RwSet::write_only([Key(key)]),
+            vec![],
         )
     }
 
@@ -115,7 +210,8 @@ mod tests {
         assert!(cutter.push(tx(1, 0)).is_none());
         assert!(cutter.push(tx(2, 0)).is_none());
         let block = cutter.push(tx(3, 0)).expect("cut at 3");
-        assert_eq!(block.len(), 3);
+        assert_eq!(block.txs.len(), 3);
+        assert!(block.graph.is_none(), "no graph without a mode");
         assert_eq!(cutter.pending_len(), 0);
     }
 
@@ -124,7 +220,7 @@ mod tests {
         let mut cutter = BlockCutter::new(cfg(usize::MAX, 300, 1000));
         assert!(cutter.push(tx(1, 100)).is_none());
         let block = cutter.push(tx(2, 200)).expect("bytes exceeded");
-        assert_eq!(block.len(), 2);
+        assert_eq!(block.txs.len(), 2);
     }
 
     #[test]
@@ -132,9 +228,38 @@ mod tests {
         let mut cutter = BlockCutter::new(cfg(100, usize::MAX, 1000));
         cutter.push(tx(1, 0));
         cutter.push(tx(2, 0));
-        let block = cutter.cut_marker().expect("pending flushed");
-        assert_eq!(block.len(), 2);
-        assert!(cutter.cut_marker().is_none(), "stale marker ignored");
+        let first = cutter.first_pending().expect("pending");
+        let block = cutter.cut_marker(first).expect("pending flushed");
+        assert_eq!(block.txs.len(), 2);
+        assert!(
+            cutter.cut_marker(first).is_none(),
+            "re-delivered marker ignored on empty cutter"
+        );
+    }
+
+    #[test]
+    fn stale_marker_after_intervening_count_cut_is_ignored() {
+        // Regression: a marker ordered for {T1, T2} arrives *after* a
+        // count cut already flushed them; T3 is freshly pending. The old
+        // untagged marker would have cut a premature one-transaction
+        // block here.
+        let mut cutter = BlockCutter::new(cfg(2, usize::MAX, 1000));
+        cutter.push(tx(1, 0));
+        let marker_tag = cutter.first_pending().expect("T1 pending");
+        let cut = cutter.push(tx(2, 0)).expect("count cut at 2");
+        assert_eq!(cut.txs.len(), 2);
+
+        cutter.push(tx(3, 0));
+        assert!(
+            cutter.cut_marker(marker_tag).is_none(),
+            "stale marker must not cut the fresh block"
+        );
+        assert_eq!(cutter.pending_len(), 1, "T3 still pending");
+
+        // A marker tagged for the *current* pending set does cut.
+        let fresh_tag = cutter.first_pending().expect("T3 pending");
+        let block = cutter.cut_marker(fresh_tag).expect("fresh marker cuts");
+        assert_eq!(block.txs.len(), 1);
     }
 
     #[test]
@@ -145,16 +270,82 @@ mod tests {
         assert!(!cutter.wants_time_cut());
         std::thread::sleep(Duration::from_millis(7));
         assert!(cutter.wants_time_cut());
-        let _ = cutter.cut_marker();
+        let first = cutter.first_pending().expect("pending");
+        let _ = cutter.cut_marker(first);
         assert!(!cutter.wants_time_cut());
     }
 
     #[test]
     fn consecutive_blocks_preserve_order() {
         let mut cutter = BlockCutter::new(cfg(2, usize::MAX, 1000));
-        let b1 = cutter.push(tx(2, 0)).is_none().then(|| cutter.push(tx(1, 0))).flatten();
-        let b1 = b1.expect("first block");
-        assert_eq!(b1[0].id().client_ts, 2);
-        assert_eq!(b1[1].id().client_ts, 1);
+        // First block: arrival order 2, 1 (client timestamps do not
+        // reorder the stream).
+        assert!(cutter.push(tx(2, 0)).is_none());
+        let b1 = cutter.push(tx(1, 0)).expect("first block");
+        assert_eq!(b1.txs[0].id().client_ts, 2);
+        assert_eq!(b1.txs[1].id().client_ts, 1);
+        // Second block: arrival order 4, 3.
+        assert!(cutter.push(tx(4, 0)).is_none());
+        let b2 = cutter.push(tx(3, 0)).expect("second block");
+        assert_eq!(b2.txs[0].id().client_ts, 4);
+        assert_eq!(b2.txs[1].id().client_ts, 3);
+    }
+
+    #[test]
+    fn streaming_cutter_attaches_graphs_and_resets_between_blocks() {
+        let mut cutter = BlockCutter::with_graph(
+            cfg(2, usize::MAX, 1000),
+            DependencyMode::Reduced,
+            GraphConstruction::Streaming,
+        );
+        // Block 1: two writers of key 7 — one edge.
+        assert!(cutter.push(writer(1, 7)).is_none());
+        let b1 = cutter.push(writer(2, 7)).expect("first block");
+        let g1 = b1.graph.expect("graph attached");
+        assert_eq!(g1.len(), 2);
+        assert!(g1.has_edge(SeqNo(0), SeqNo(1)));
+
+        // Block 2 touches the same key: the streaming index must have
+        // been reset, so there is no edge to block 1's writers.
+        assert!(cutter.push(writer(3, 7)).is_none());
+        let b2 = cutter.push(writer(4, 9)).expect("second block");
+        let g2 = b2.graph.expect("graph attached");
+        assert_eq!(g2.len(), 2);
+        assert_eq!(g2.edge_count(), 0, "index leaked across blocks");
+    }
+
+    #[test]
+    fn streaming_and_batch_cutters_agree() {
+        let feed = [writer(1, 1), writer(2, 1), writer(3, 2), writer(4, 1)];
+        let mut graphs = Vec::new();
+        for construction in [GraphConstruction::Streaming, GraphConstruction::Batch] {
+            let mut cutter = BlockCutter::with_graph(
+                cfg(4, usize::MAX, 1000),
+                DependencyMode::Reduced,
+                construction,
+            );
+            let mut cut = None;
+            for tx in feed.iter().cloned() {
+                cut = cut.or(cutter.push(tx));
+            }
+            graphs.push(cut.expect("cut at 4").graph.expect("graph"));
+        }
+        assert_eq!(graphs[0], graphs[1]);
+    }
+
+    #[test]
+    fn marker_cut_emits_graph_over_partial_block() {
+        let mut cutter = BlockCutter::with_graph(
+            cfg(100, usize::MAX, 1000),
+            DependencyMode::Reduced,
+            GraphConstruction::Streaming,
+        );
+        cutter.push(writer(1, 5));
+        cutter.push(writer(2, 5));
+        let first = cutter.first_pending().expect("pending");
+        let block = cutter.cut_marker(first).expect("marker cuts");
+        let graph = block.graph.expect("graph attached");
+        assert_eq!(graph.len(), 2);
+        assert_eq!(graph.edge_count(), 1);
     }
 }

@@ -51,6 +51,9 @@ pub mod runner;
 mod shared;
 pub mod xov;
 
-pub use cluster::{ClusterSpec, CommitFlush, ConsensusKind, MovedGroup, SystemKind, TopologySpec};
+pub use cluster::{
+    ClusterSpec, CommitFlush, ConsensusKind, GraphConstruction, MovedGroup, SystemKind,
+    TopologySpec,
+};
 pub use metrics::{Metrics, RunReport};
 pub use runner::{run, run_fixed, LoadSpec};

@@ -6,7 +6,7 @@
 //! from other executors, the transaction is counted as committed"
 //! (§V-C) — i.e. submit-at-client → commit-at-observer-peer.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -24,6 +24,10 @@ pub struct Metrics {
 #[derive(Debug, Default)]
 struct Inner {
     submits: Mutex<HashMap<TxId, Instant>>,
+    /// Ids already counted as committed or aborted; re-observations
+    /// (quorum re-delivery, duplicate COMMIT processing) must not
+    /// double-count, and a transaction resolves exactly one way.
+    resolved_ids: Mutex<HashSet<TxId>>,
     /// Latencies of committed transactions (µs).
     latencies: Mutex<Vec<u64>>,
     committed: AtomicU64,
@@ -53,9 +57,15 @@ impl Metrics {
 
     /// Records a commit observed at the designated observer peer.
     ///
-    /// Unknown transaction ids (e.g. warm-up traffic submitted before
+    /// Each transaction id is counted **once**: a re-observed commit
+    /// (e.g. duplicate quorum delivery) is ignored entirely, so the
+    /// committed count and the latency samples stay in step. Unknown
+    /// transaction ids (e.g. warm-up traffic submitted before
     /// measurement started) are counted but contribute no latency sample.
     pub fn record_commit(&self, tx: TxId) {
+        if !self.inner.resolved_ids.lock().insert(tx) {
+            return;
+        }
         let now = Instant::now();
         self.inner.committed.fetch_add(1, Ordering::Relaxed);
         if let Some(submitted) = self.inner.submits.lock().remove(&tx) {
@@ -66,8 +76,13 @@ impl Metrics {
     }
 
     /// Records an abort observed at the observer peer (XOV validation
-    /// failures, contract-level rejections).
+    /// failures, contract-level rejections). Deduplicated like
+    /// [`Metrics::record_commit`]: a re-observed abort, or an abort for a
+    /// transaction already counted as committed, is ignored.
     pub fn record_abort(&self, tx: TxId) {
+        if !self.inner.resolved_ids.lock().insert(tx) {
+            return;
+        }
         self.inner.aborted.fetch_add(1, Ordering::Relaxed);
         self.inner.submits.lock().remove(&tx);
     }
@@ -89,6 +104,15 @@ impl Metrics {
         self.inner.committed.load(Ordering::Relaxed) + self.inner.aborted.load(Ordering::Relaxed)
     }
 
+    /// Submitted transactions that have neither committed nor aborted —
+    /// in-flight during a run; dropped (fault injection) once it ends.
+    /// Without [`Metrics::report`]'s pruning these entries would
+    /// accumulate in the submit map for as long as the sink lives.
+    #[must_use]
+    pub fn outstanding(&self) -> u64 {
+        self.inner.submits.lock().len() as u64
+    }
+
     /// Records the observer's state digest after a block (see
     /// `ClusterSpec::capture_state`).
     pub fn set_state_digest(&self, digest: parblock_types::Hash32) {
@@ -96,8 +120,28 @@ impl Metrics {
     }
 
     /// Freezes the sink into a report.
+    ///
+    /// Pruning: submissions still unmatched at report time (dropped by
+    /// the network under fault injection, or in flight when the run
+    /// ended) are counted into [`RunReport::outstanding`] and **removed**
+    /// from the submit map, and the commit/abort dedup set is released,
+    /// so a long-lived sink does not keep per-transaction state past the
+    /// end of a run. (The aggregate counters stay monotonic; per-run
+    /// measurements should use a fresh sink, as the runner does.)
     #[must_use]
     pub fn report(&self) -> RunReport {
+        let outstanding = {
+            let mut submits = self.inner.submits.lock();
+            let n = submits.len() as u64;
+            submits.clear();
+            submits.shrink_to_fit();
+            n
+        };
+        {
+            let mut resolved = self.inner.resolved_ids.lock();
+            resolved.clear();
+            resolved.shrink_to_fit();
+        }
         let mut latencies = self.inner.latencies.lock().clone();
         latencies.sort_unstable();
         let window = match (
@@ -110,6 +154,7 @@ impl Metrics {
         RunReport {
             committed: self.inner.committed.load(Ordering::Relaxed),
             aborted: self.inner.aborted.load(Ordering::Relaxed),
+            outstanding,
             blocks: self.inner.blocks.load(Ordering::Relaxed),
             window,
             latencies_us: latencies,
@@ -126,6 +171,9 @@ pub struct RunReport {
     pub committed: u64,
     /// Transactions aborted at the observer.
     pub aborted: u64,
+    /// Submitted transactions that never reached a commit or abort by the
+    /// end of the run (lost to fault injection, or still in flight).
+    pub outstanding: u64,
     /// Blocks processed at the observer.
     pub blocks: u64,
     /// First submission → last commit.
@@ -232,10 +280,55 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_commit_counts_once() {
+        let m = Metrics::new();
+        m.record_submit(tx(1));
+        m.record_commit(tx(1));
+        m.record_commit(tx(1));
+        assert_eq!(m.committed(), 1, "re-observed commit double-counted");
+        let r = m.report();
+        assert_eq!(r.committed, 1);
+        assert_eq!(r.latencies_us.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_abort_counts_once_and_commit_wins_over_late_abort() {
+        let m = Metrics::new();
+        m.record_abort(tx(1));
+        m.record_abort(tx(1));
+        let r = m.report();
+        assert_eq!(r.aborted, 1, "re-observed abort double-counted");
+
+        let m = Metrics::new();
+        m.record_commit(tx(2));
+        m.record_abort(tx(2));
+        assert_eq!(m.committed(), 1);
+        assert_eq!(m.report().aborted, 0, "a resolved tx must not re-resolve");
+    }
+
+    #[test]
+    fn outstanding_submits_are_pruned_at_report_time() {
+        let m = Metrics::new();
+        m.record_submit(tx(1));
+        m.record_submit(tx(2));
+        m.record_submit(tx(3));
+        m.record_commit(tx(1));
+        assert_eq!(m.outstanding(), 2, "two submits never resolved");
+        let r = m.report();
+        assert_eq!(r.outstanding, 2);
+        assert_eq!(
+            m.outstanding(),
+            0,
+            "report must prune dropped submissions from the map"
+        );
+    }
+
+    #[test]
     fn percentiles_on_known_distribution() {
         let r = RunReport {
             committed: 100,
             aborted: 0,
+            outstanding: 0,
             blocks: 1,
             window: Duration::from_secs(1),
             latencies_us: (1..=100).collect(),

@@ -2,7 +2,11 @@
 //! dependency-graph generation and NEWBLOCK multicast (§III-A, §IV-B).
 //!
 //! One implementation serves all three systems: OXII orderers attach a
-//! dependency graph to each block; OX and XOV orderers do not.
+//! dependency graph to each block; OX and XOV orderers do not. Graph
+//! generation happens *inside the cutter* as transactions stream in
+//! (see [`BlockCutter::with_graph`]), so `emit_block` receives block and
+//! graph together and the ordering critical path between a cut and the
+//! `NEWBLOCK` multicast no longer pays a batch graph rebuild.
 
 use std::collections::HashSet;
 use std::sync::atomic::Ordering;
@@ -11,14 +15,14 @@ use std::time::{Duration, Instant};
 
 use parblock_consensus::{Action, OrderingProtocol};
 use parblock_crypto::hash_wire;
-use parblock_depgraph::{DependencyGraph, DependencyMode};
+use parblock_depgraph::DependencyMode;
 use parblock_ledger::Ledger;
 use parblock_net::Endpoint;
 use parblock_types::wire::Wire;
 use parblock_types::{Block, BlockNumber, Hash32, NodeId, Transaction, TxId};
 
 use crate::batch::Payload;
-use crate::cutter::BlockCutter;
+use crate::cutter::{BlockCutter, CutBlock};
 use crate::hostcons::{AnyConsensus, TimerTable};
 use crate::msg::{BlockBundle, ConsMsg, Msg};
 use crate::shared::Shared;
@@ -32,7 +36,6 @@ pub(crate) struct Orderer {
     shared: Arc<Shared>,
     endpoint: Endpoint<Msg>,
     protocol: AnyConsensus,
-    graph_mode: Option<DependencyMode>,
     cutter: BlockCutter,
     timers: TimerTable,
     batch: Vec<Transaction>,
@@ -51,13 +54,19 @@ impl Orderer {
         protocol: AnyConsensus,
         graph_mode: Option<DependencyMode>,
     ) -> Self {
-        let cutter = BlockCutter::new(shared.spec.block_cut.clone());
+        let cutter = match graph_mode {
+            None => BlockCutter::new(shared.spec.block_cut.clone()),
+            Some(mode) => BlockCutter::with_graph(
+                shared.spec.block_cut.clone(),
+                mode,
+                shared.spec.graph_construction,
+            ),
+        };
         let dests = shared.spec.peer_ids();
         Orderer {
             shared,
             endpoint,
             protocol,
-            graph_mode,
             cutter,
             timers: TimerTable::new(),
             batch: Vec::new(),
@@ -152,9 +161,9 @@ impl Orderer {
                     }
                 }
             }
-            Some(Payload::CutMarker) => {
+            Some(Payload::CutMarker { first_pending }) => {
                 self.marker_sent = None;
-                if let Some(full) = self.cutter.cut_marker() {
+                if let Some(full) = self.cutter.cut_marker(first_pending) {
                     self.emit_block(full);
                 }
             }
@@ -162,12 +171,14 @@ impl Orderer {
         }
     }
 
-    fn emit_block(&mut self, txs: Vec<Transaction>) {
+    /// Announces one cut block. The dependency graph arrives ready-made
+    /// from the cutter — nothing here grows with the square of the block
+    /// size, so consensus delivery of the next block is never stalled
+    /// behind graph generation.
+    fn emit_block(&mut self, cut: CutBlock) {
+        let CutBlock { txs, graph } = cut;
         let block = Block::new(self.next_number, self.prev_hash, txs);
         let hash = hash_wire(&block);
-        let graph = self
-            .graph_mode
-            .map(|mode| DependencyGraph::build(&block, mode));
         let bundle = Arc::new(BlockBundle { block, graph, hash });
         let signer = self.shared.spec.node_signer(self.endpoint.id());
         let sig = self.shared.keys.sign(signer, &hash.0);
@@ -197,17 +208,25 @@ impl Orderer {
     }
 
     /// §IV-B: the time-based cut condition is made deterministic by the
-    /// leader ordering an explicit cut-block marker.
+    /// leader ordering an explicit cut-block marker. The marker carries
+    /// the oldest pending transaction's id so that, if a count/byte cut
+    /// overtakes it in the ordered stream, every cutter recognises it as
+    /// stale instead of prematurely cutting the next block.
     fn order_time_cut_if_due(&mut self) {
         if !self.protocol.is_leader() || !self.cutter.wants_time_cut() {
             return;
         }
+        let Some(first_pending) = self.cutter.first_pending() else {
+            return;
+        };
         let resend_due = self
             .marker_sent
             .is_none_or(|at| at.elapsed() > self.shared.spec.block_cut.max_wait);
         if resend_due {
             self.marker_sent = Some(Instant::now());
-            let actions = self.protocol.submit(Payload::CutMarker.encode());
+            let actions = self
+                .protocol
+                .submit(Payload::CutMarker { first_pending }.encode());
             self.apply(actions);
         }
     }

@@ -16,7 +16,7 @@
 //!   write-then-read pairs (a later read must see the earlier version)
 //!   force an ordering dependency.
 
-use parblock_types::{Block, SeqNo};
+use parblock_types::{Block, SeqNo, Transaction};
 
 use crate::graph::DependencyGraph;
 
@@ -35,22 +35,27 @@ pub enum DependencyMode {
 
 /// Builds the dependency graph of `block` under `mode`.
 pub(crate) fn build(block: &Block, mode: DependencyMode) -> DependencyGraph {
+    build_txs(block.transactions(), mode)
+}
+
+/// Builds the dependency graph of a transaction sequence under `mode`.
+/// Positions follow slice order, exactly as they would in a block.
+pub(crate) fn build_txs(txs: &[Transaction], mode: DependencyMode) -> DependencyGraph {
     match mode {
-        DependencyMode::Full => build_full(block),
-        DependencyMode::Reduced => build_reduced(block),
-        DependencyMode::MultiVersion => build_multi_version(block),
+        DependencyMode::Full => build_full(txs),
+        DependencyMode::Reduced => build_reduced(txs),
+        DependencyMode::MultiVersion => build_multi_version(txs),
     }
 }
 
-fn apps_of(block: &Block) -> Vec<parblock_types::AppId> {
-    block.transactions().iter().map(|tx| tx.app()).collect()
+fn apps_of(txs: &[Transaction]) -> Vec<parblock_types::AppId> {
+    txs.iter().map(Transaction::app).collect()
 }
 
 /// O(n²) pairwise construction, the paper's definition verbatim:
 /// `Ti ⤳ Tj` iff `ts(i) < ts(j)` and ρ(Ti)∩ω(Tj) ≠ ∅ or ω(Ti)∩ρ(Tj) ≠ ∅
 /// or ω(Ti)∩ω(Tj) ≠ ∅.
-fn build_full(block: &Block) -> DependencyGraph {
-    let txs = block.transactions();
+fn build_full(txs: &[Transaction]) -> DependencyGraph {
     let mut edges = Vec::new();
     for j in 1..txs.len() {
         for i in 0..j {
@@ -61,12 +66,12 @@ fn build_full(block: &Block) -> DependencyGraph {
             }
         }
     }
-    DependencyGraph::from_edges(apps_of(block), &edges, DependencyMode::Full)
+    DependencyGraph::from_edges(apps_of(txs), &edges, DependencyMode::Full)
 }
 
 /// Index-based construction: per key, remember the last writer and the
 /// readers since that write.
-fn build_reduced(block: &Block) -> DependencyGraph {
+fn build_reduced(txs: &[Transaction]) -> DependencyGraph {
     use std::collections::HashMap;
     use parblock_types::Key;
 
@@ -76,7 +81,6 @@ fn build_reduced(block: &Block) -> DependencyGraph {
         readers_since_write: Vec<SeqNo>,
     }
 
-    let txs = block.transactions();
     let mut keys: HashMap<Key, KeyState> = HashMap::new();
     let mut edges = Vec::new();
 
@@ -116,12 +120,11 @@ fn build_reduced(block: &Block) -> DependencyGraph {
             }
         }
     }
-    DependencyGraph::from_edges(apps_of(block), &edges, DependencyMode::Reduced)
+    DependencyGraph::from_edges(apps_of(txs), &edges, DependencyMode::Reduced)
 }
 
 /// Multi-version rules: only ω(Ti) ∩ ρ(Tj) forces `Ti ⤳ Tj`.
-fn build_multi_version(block: &Block) -> DependencyGraph {
-    let txs = block.transactions();
+fn build_multi_version(txs: &[Transaction]) -> DependencyGraph {
     let mut edges = Vec::new();
     for j in 1..txs.len() {
         for i in 0..j {
@@ -130,7 +133,7 @@ fn build_multi_version(block: &Block) -> DependencyGraph {
             }
         }
     }
-    DependencyGraph::from_edges(apps_of(block), &edges, DependencyMode::MultiVersion)
+    DependencyGraph::from_edges(apps_of(txs), &edges, DependencyMode::MultiVersion)
 }
 
 #[cfg(test)]

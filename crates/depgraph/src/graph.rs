@@ -35,6 +35,15 @@ impl DependencyGraph {
         builder::build(block, mode)
     }
 
+    /// Builds the dependency graph of a transaction sequence that has not
+    /// been wrapped in a [`Block`] yet (positions follow slice order).
+    /// Used by the block cutter's batch-construction ablation path, where
+    /// the graph is needed before the block header exists.
+    #[must_use]
+    pub fn build_txs(txs: &[parblock_types::Transaction], mode: DependencyMode) -> Self {
+        builder::build_txs(txs, mode)
+    }
+
     /// Constructs a graph from raw adjacency data. Used by the builder;
     /// exposed for tests that need hand-crafted graphs.
     ///

@@ -1,0 +1,302 @@
+//! Incremental dependency-graph construction over the transaction stream.
+//!
+//! The batch builders in [`crate::builder`] pay their whole cost at cut
+//! time — in [`DependencyMode::Full`] that is an O(n²) pairwise sweep
+//! executed *between* cutting a block and multicasting `NEWBLOCK`, which
+//! is exactly the orderer-side load the paper blames for the Fig 5
+//! throughput rolloff ("generating the dependency graph … increases the
+//! load on the orderers", §IV-B).
+//!
+//! [`StreamingBuilder`] moves that work onto the ordered transaction
+//! stream instead: each [`StreamingBuilder::observe`] updates a per-key
+//! conflict index (last writer, readers since that write, and — for
+//! multi-version rules — all writers) and appends the new transaction's
+//! dependency edges. [`StreamingBuilder::finish`] then materialises the
+//! [`DependencyGraph`] in time proportional to the pending block (its
+//! vertices and accumulated edges), not the square of its size.
+//!
+//! Equivalence with the batch builders (property-tested, DESIGN.md §6):
+//!
+//! * [`DependencyMode::Reduced`] and [`DependencyMode::MultiVersion`] —
+//!   the streaming edge set is **identical** to the batch edge set.
+//! * [`DependencyMode::Full`] — emitting every conflicting pair is
+//!   inherently Ω(n²) (all-writers-of-one-key blocks have that many
+//!   edges), so the streaming builder emits the *closure-equivalent*
+//!   last-writer/reader edge set instead: the transitive closure — and
+//!   hence the partial order executors obey — is exactly the batch
+//!   `Full` closure, with at most O(accesses) edges.
+
+use std::collections::HashMap;
+
+use parblock_types::{AppId, Key, SeqNo, Transaction};
+
+use crate::builder::DependencyMode;
+use crate::graph::DependencyGraph;
+
+/// Per-key conflict index entry.
+#[derive(Debug, Default)]
+struct KeyIndex {
+    /// The last transaction that wrote this key (single-version rules).
+    last_writer: Option<SeqNo>,
+    /// Readers since that write (single-version rules).
+    readers_since_write: Vec<SeqNo>,
+    /// Every writer of this key so far (multi-version rules: writes make
+    /// versions, so *all* of them constrain a later reader).
+    writers: Vec<SeqNo>,
+}
+
+/// Incrementally builds a block's dependency graph as transactions are
+/// delivered, so cut time pays O(pending) instead of an O(n²) rebuild.
+///
+/// # Examples
+///
+/// ```
+/// use parblock_depgraph::{DependencyGraph, DependencyMode, StreamingBuilder};
+/// use parblock_types::{AppId, ClientId, Key, RwSet, SeqNo, Transaction};
+///
+/// let tx = |ts, rw| Transaction::new(AppId(0), ClientId(1), ts, rw, vec![]);
+/// let mut builder = StreamingBuilder::new(DependencyMode::Reduced);
+/// builder.observe(&tx(1, RwSet::write_only([Key(7)])));
+/// builder.observe(&tx(2, RwSet::read_only([Key(7)])));
+/// let graph = builder.finish();
+/// assert!(graph.has_edge(SeqNo(0), SeqNo(1)));
+/// // `finish` resets the index: the builder is ready for the next block.
+/// assert!(builder.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct StreamingBuilder {
+    mode: DependencyMode,
+    apps: Vec<AppId>,
+    edges: Vec<(SeqNo, SeqNo)>,
+    keys: HashMap<Key, KeyIndex>,
+}
+
+impl StreamingBuilder {
+    /// Creates an empty builder for `mode`.
+    #[must_use]
+    pub fn new(mode: DependencyMode) -> Self {
+        StreamingBuilder {
+            mode,
+            apps: Vec::new(),
+            edges: Vec::new(),
+            keys: HashMap::new(),
+        }
+    }
+
+    /// The dependency rules this builder applies.
+    #[must_use]
+    pub fn mode(&self) -> DependencyMode {
+        self.mode
+    }
+
+    /// Number of transactions observed since the last [`Self::finish`].
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// Whether no transaction has been observed since the last
+    /// [`Self::finish`].
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.apps.is_empty()
+    }
+
+    /// Number of dependency edges accumulated so far (before adjacency
+    /// deduplication; an upper bound on the finished graph's edge count).
+    #[must_use]
+    pub fn edge_upper_bound(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Feeds the next transaction of the pending block, updating the
+    /// conflict index and appending its dependency edges. Amortised cost
+    /// is proportional to the transaction's accesses plus the edges it
+    /// creates.
+    pub fn observe(&mut self, tx: &Transaction) {
+        let j = SeqNo(u32::try_from(self.apps.len()).expect("block exceeds u32 positions"));
+        self.apps.push(tx.app());
+        match self.mode {
+            // `Full` and `Reduced` share the last-writer/reader rules;
+            // `Full` differs from the batch builder only in emitting the
+            // closure-equivalent subset (see the module docs).
+            DependencyMode::Full | DependencyMode::Reduced => self.observe_single_version(tx, j),
+            DependencyMode::MultiVersion => self.observe_multi_version(tx, j),
+        }
+    }
+
+    /// Single-version rules, mirroring `builder::build_reduced` step for
+    /// step so the streaming `Reduced` edge set matches the batch one
+    /// exactly.
+    fn observe_single_version(&mut self, tx: &Transaction, j: SeqNo) {
+        // W→R: the last writer of each read key precedes us.
+        for key in tx.rw_set().reads() {
+            if let Some(index) = self.keys.get(key) {
+                if let Some(w) = index.last_writer {
+                    self.edges.push((w, j));
+                }
+            }
+        }
+        for key in tx.rw_set().writes() {
+            let index = self.keys.entry(*key).or_default();
+            // R→W: all readers since the last write precede us.
+            for &r in &index.readers_since_write {
+                if r != j {
+                    self.edges.push((r, j));
+                }
+            }
+            // W→W: the previous writer precedes us.
+            if let Some(w) = index.last_writer {
+                if w != j {
+                    self.edges.push((w, j));
+                }
+            }
+            index.last_writer = Some(j);
+            index.readers_since_write.clear();
+        }
+        // Register reads after handling writes so a transaction that both
+        // reads and writes a key does not self-depend.
+        for key in tx.rw_set().reads() {
+            let index = self.keys.entry(*key).or_default();
+            if index.last_writer != Some(j) {
+                index.readers_since_write.push(j);
+            }
+        }
+    }
+
+    /// Multi-version rules: only ω(Ti) ∩ ρ(Tj) forces `Ti ⤳ Tj`, and every
+    /// earlier writer of a read key constrains the reader.
+    fn observe_multi_version(&mut self, tx: &Transaction, j: SeqNo) {
+        for key in tx.rw_set().reads() {
+            if let Some(index) = self.keys.get(key) {
+                for &w in &index.writers {
+                    self.edges.push((w, j));
+                }
+            }
+        }
+        // Writes are registered after reads, so a read-modify-write
+        // transaction never self-depends.
+        for key in tx.rw_set().writes() {
+            self.keys.entry(*key).or_default().writers.push(j);
+        }
+    }
+
+    /// Emits the dependency graph of the observed transactions and resets
+    /// the builder for the next block.
+    ///
+    /// Cost is O(vertices + accumulated edges) — the cut-time emission
+    /// the orderer pays on its critical path; all pairwise work already
+    /// happened inside [`Self::observe`].
+    pub fn finish(&mut self) -> DependencyGraph {
+        let apps = std::mem::take(&mut self.apps);
+        let edges = std::mem::take(&mut self.edges);
+        self.keys.clear();
+        DependencyGraph::from_edges(apps, &edges, self.mode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use parblock_types::{Block, BlockNumber, ClientId, Hash32, RwSet};
+
+    use super::*;
+
+    fn tx(i: u64, rw: RwSet) -> Transaction {
+        Transaction::new(AppId(0), ClientId(1), i, rw, vec![])
+    }
+
+    fn stream(mode: DependencyMode, rw_sets: &[RwSet]) -> DependencyGraph {
+        let mut builder = StreamingBuilder::new(mode);
+        for (i, rw) in rw_sets.iter().enumerate() {
+            builder.observe(&tx(i as u64, rw.clone()));
+        }
+        builder.finish()
+    }
+
+    fn batch(mode: DependencyMode, rw_sets: &[RwSet]) -> DependencyGraph {
+        let txs = rw_sets
+            .iter()
+            .enumerate()
+            .map(|(i, rw)| tx(i as u64, rw.clone()))
+            .collect();
+        DependencyGraph::build(&Block::new(BlockNumber(1), Hash32::ZERO, txs), mode)
+    }
+
+    fn k(raw: u64) -> Key {
+        Key(raw)
+    }
+
+    #[test]
+    fn reduced_streaming_equals_batch_on_write_chain() {
+        let sets = vec![RwSet::write_only([k(1)]); 4];
+        assert_eq!(
+            stream(DependencyMode::Reduced, &sets),
+            batch(DependencyMode::Reduced, &sets)
+        );
+    }
+
+    #[test]
+    fn multi_version_streaming_keeps_all_writer_edges() {
+        // W(a), W(a), R(a): both writers constrain the reader.
+        let sets = vec![
+            RwSet::write_only([k(1)]),
+            RwSet::write_only([k(1)]),
+            RwSet::read_only([k(1)]),
+        ];
+        let g = stream(DependencyMode::MultiVersion, &sets);
+        assert_eq!(g, batch(DependencyMode::MultiVersion, &sets));
+        assert!(g.has_edge(SeqNo(0), SeqNo(2)));
+        assert!(g.has_edge(SeqNo(1), SeqNo(2)));
+        assert!(!g.has_edge(SeqNo(0), SeqNo(1)), "WW dropped under MV");
+    }
+
+    #[test]
+    fn full_streaming_emits_closure_equivalent_subset() {
+        // Three writers of one key: batch Full has 3 edges, streaming
+        // Full emits the 2-edge chain with the same transitive closure.
+        let sets = vec![RwSet::write_only([k(1)]); 3];
+        let g = stream(DependencyMode::Full, &sets);
+        assert_eq!(g.mode(), DependencyMode::Full);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(SeqNo(0), SeqNo(1)));
+        assert!(g.has_edge(SeqNo(1), SeqNo(2)));
+        assert_eq!(batch(DependencyMode::Full, &sets).edge_count(), 3);
+    }
+
+    #[test]
+    fn rmw_transaction_does_not_self_depend() {
+        let sets = vec![RwSet::new([k(1)], [k(1)])];
+        for mode in [
+            DependencyMode::Full,
+            DependencyMode::Reduced,
+            DependencyMode::MultiVersion,
+        ] {
+            assert_eq!(stream(mode, &sets).edge_count(), 0, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn finish_resets_the_index_between_blocks() {
+        let mut builder = StreamingBuilder::new(DependencyMode::Reduced);
+        builder.observe(&tx(1, RwSet::write_only([k(9)])));
+        builder.observe(&tx(2, RwSet::write_only([k(9)])));
+        let first = builder.finish();
+        assert_eq!(first.edge_count(), 1);
+        assert!(builder.is_empty());
+        assert_eq!(builder.edge_upper_bound(), 0);
+
+        // Same key again: must not see block 1's writer.
+        builder.observe(&tx(3, RwSet::read_only([k(9)])));
+        let second = builder.finish();
+        assert_eq!(second.len(), 1);
+        assert_eq!(second.edge_count(), 0, "stale last-writer leaked across blocks");
+    }
+
+    #[test]
+    fn empty_finish_yields_empty_graph() {
+        let mut builder = StreamingBuilder::new(DependencyMode::Full);
+        let g = builder.finish();
+        assert!(g.is_empty());
+        assert_eq!(g.edge_count(), 0);
+    }
+}

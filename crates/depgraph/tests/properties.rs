@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 
 use parblock_depgraph::{
-    DependencyGraph, DependencyMode, ExecutionLayers, OpGraph, ReadyTracker,
+    DependencyGraph, DependencyMode, ExecutionLayers, OpGraph, ReadyTracker, StreamingBuilder,
 };
 use parblock_types::{AppId, Block, BlockNumber, ClientId, Hash32, Key, RwSet, SeqNo, Transaction};
 
@@ -32,6 +32,16 @@ fn arb_block(max_txns: usize, key_space: u64) -> impl Strategy<Value = Block> {
     })
 }
 
+/// Feeds a block through a [`StreamingBuilder`] the way the streaming
+/// block cutter does, returning the emitted graph.
+fn stream_build(block: &Block, mode: DependencyMode) -> DependencyGraph {
+    let mut builder = StreamingBuilder::new(mode);
+    for tx in block.transactions() {
+        builder.observe(tx);
+    }
+    builder.finish()
+}
+
 /// Transitive closure as a boolean matrix (positions are topologically
 /// ordered, so one forward pass suffices).
 fn closure(graph: &DependencyGraph) -> Vec<Vec<bool>> {
@@ -41,9 +51,9 @@ fn closure(graph: &DependencyGraph) -> Vec<Vec<bool>> {
         for &p in graph.predecessors(SeqNo(j as u32)) {
             let p = p.0 as usize;
             reach[p][j] = true;
-            for i in 0..n {
-                if reach[i][p] {
-                    reach[i][j] = true;
+            for row in &mut reach {
+                if row[p] {
+                    row[j] = true;
                 }
             }
         }
@@ -169,6 +179,60 @@ proptest! {
             op_graph.tx_critical_path(),
             tx_cp
         );
+    }
+
+    /// Incremental ≡ batch, edge sets: for `Reduced` and `MultiVersion`
+    /// the streaming builder emits exactly the batch builder's graph
+    /// (apps, edges, and mode all equal).
+    #[test]
+    fn streaming_equals_batch_edge_sets(block in arb_block(20, 6)) {
+        for mode in [DependencyMode::Reduced, DependencyMode::MultiVersion] {
+            let streamed = stream_build(&block, mode);
+            let batch = DependencyGraph::build(&block, mode);
+            prop_assert_eq!(streamed, batch, "{:?}", mode);
+        }
+    }
+
+    /// Incremental ≡ batch, transitive closure: in every mode —
+    /// including `Full`, where the streaming builder emits the
+    /// closure-equivalent subset instead of all Ω(n²) pairwise edges —
+    /// executors see the same partial order.
+    #[test]
+    fn streaming_closure_equals_batch_closure(block in arb_block(16, 5)) {
+        for mode in [DependencyMode::Full, DependencyMode::Reduced, DependencyMode::MultiVersion] {
+            let streamed = stream_build(&block, mode);
+            let batch = DependencyGraph::build(&block, mode);
+            prop_assert_eq!(closure(&streamed), closure(&batch), "{:?}", mode);
+        }
+    }
+
+    /// The streaming `Full` graph is a subgraph of the batch `Full`
+    /// graph: it never invents an ordering constraint.
+    #[test]
+    fn streaming_full_is_subgraph_of_batch_full(block in arb_block(20, 6)) {
+        let streamed = stream_build(&block, DependencyMode::Full);
+        let full = DependencyGraph::build(&block, DependencyMode::Full);
+        for (i, j) in streamed.edges() {
+            prop_assert!(full.has_edge(i, j), "streamed edge ({i:?},{j:?}) not in full");
+        }
+    }
+
+    /// Reusing one builder across consecutive blocks is equivalent to a
+    /// fresh builder per block: `finish` fully resets the conflict index.
+    #[test]
+    fn streaming_builder_reuse_is_reset(first in arb_block(12, 4), second in arb_block(12, 4)) {
+        for mode in [DependencyMode::Full, DependencyMode::Reduced, DependencyMode::MultiVersion] {
+            let mut builder = StreamingBuilder::new(mode);
+            for tx in first.transactions() {
+                builder.observe(tx);
+            }
+            let _ = builder.finish();
+            for tx in second.transactions() {
+                builder.observe(tx);
+            }
+            let reused = builder.finish();
+            prop_assert_eq!(reused, stream_build(&second, mode), "{:?}", mode);
+        }
     }
 
     /// Conflict stats fraction is within [0, 1] and zero edges implies

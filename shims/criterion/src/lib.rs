@@ -181,6 +181,19 @@ impl BenchmarkGroup<'_> {
     }
 }
 
+/// How per-iteration inputs are amortised in [`Bencher::iter_batched`].
+/// The shim times each routine call individually, so the variants only
+/// exist for API compatibility with upstream criterion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Inputs are small; upstream batches many per allocation.
+    SmallInput,
+    /// Inputs are large; upstream batches few per allocation.
+    LargeInput,
+    /// One input per measurement batch.
+    PerIteration,
+}
+
 /// Passed to benchmark closures; [`Bencher::iter`] performs the timing.
 pub struct Bencher {
     sample_size: usize,
@@ -207,6 +220,36 @@ impl Bencher {
             black_box(routine());
         }
         let total = start.elapsed();
+        self.mean = Some(total / u32::try_from(iters).unwrap_or(u32::MAX));
+        self.iters = iters;
+    }
+
+    /// Times `routine` over inputs produced by `setup`, excluding the
+    /// setup cost from the measurement. Used where the routine consumes
+    /// or mutates its input (e.g. draining a builder), which plain
+    /// [`Bencher::iter`] cannot express.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        // One warm-up call, timed, to size the loop.
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        let first = start.elapsed().max(Duration::from_nanos(1));
+
+        let budget = self.budget.min(MAX_MEASURE_TIME);
+        let by_budget = (budget.as_nanos() / first.as_nanos()).max(1);
+        let iters = (self.sample_size as u128).min(by_budget) as u64;
+
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
         self.mean = Some(total / u32::try_from(iters).unwrap_or(u32::MAX));
         self.iters = iters;
     }
@@ -295,6 +338,28 @@ mod tests {
             });
         });
         assert!(calls > 0);
+    }
+
+    #[test]
+    fn iter_batched_times_routine_not_setup() {
+        let mut c = Criterion::default().sample_size(4);
+        let mut setups = 0u64;
+        let mut runs = 0u64;
+        c.bench_function("shim_iter_batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u64; 8]
+                },
+                |v| {
+                    runs += 1;
+                    v.into_iter().sum::<u64>()
+                },
+                BatchSize::SmallInput,
+            );
+        });
+        assert!(runs > 0);
+        assert_eq!(setups, runs, "one fresh input per routine call");
     }
 
     #[test]
