@@ -1,0 +1,38 @@
+//! Pipeline-depth benchmark: a fixed transaction count pushed through an
+//! OXII cluster whose executor is the bottleneck, at
+//! `exec_pipeline_depth` 1 / 2 / 4. Wall-clock per run falls as depth
+//! lets block `n + 1` execute under block `n`'s commit tail; the
+//! `repro ablation-pipeline` table reports the same effect as committed
+//! throughput with stall/occupancy metrics.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use parblockchain::{run_fixed, ClusterSpec, SystemKind};
+
+fn bench_pipeline_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oxii_pipeline_depth");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(15));
+    for depth in [1usize, 2, 4] {
+        let mut spec = ClusterSpec::new(SystemKind::Oxii);
+        spec.exec_pipeline_depth = depth;
+        spec.block_cut = parblock_types::BlockCutConfig::with_max_txns(100);
+        spec.costs = parblock_types::ExecutionCosts::per_tx(Duration::from_micros(500));
+        spec.exec_pool = 8;
+        spec.batch_max = 256;
+        spec.topology.intra = Duration::from_millis(2);
+        group.bench_with_input(BenchmarkId::new("depth", depth), &spec, |b, spec| {
+            b.iter(|| {
+                let report = run_fixed(spec, 1_000, 30_000.0, Duration::from_secs(60));
+                assert_eq!(report.committed, 1_000);
+                report.window
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline_depth);
+criterion_main!(benches);

@@ -10,6 +10,7 @@
 //! repro ablation-commit      # Algorithm 2 vs per-tx commit messages
 //! repro ablation-mv          # single- vs multi-version graphs
 //! repro ablation-streaming   # streaming vs batch graph construction
+//! repro ablation-pipeline    # cross-block execution pipeline vs block barrier
 //! repro all                  # everything
 //! repro all --full           # everything, longer measurement points
 //! ```
@@ -17,8 +18,8 @@
 //! Results print to stdout and are written as CSV under `bench_results/`.
 
 use parblock_bench::{
-    ablation_commit_batching, ablation_mv_graph, ablation_streaming, fig5_block_size,
-    fig6_contention, fig7_geo, ExperimentScale, Table,
+    ablation_commit_batching, ablation_mv_graph, ablation_pipeline, ablation_streaming,
+    fig5_block_size, fig6_contention, fig7_geo, ExperimentScale, Table,
 };
 use parblockchain::MovedGroup;
 
@@ -104,6 +105,7 @@ fn main() {
         "ablation-commit" => emit("ablation_commit_batching", &ablation_commit_batching(scale)),
         "ablation-mv" => emit("ablation_mv_graph", &ablation_mv_graph()),
         "ablation-streaming" => emit("ablation_streaming", &ablation_streaming(scale)),
+        "ablation-pipeline" => emit("ablation_pipeline", &ablation_pipeline(scale)),
         "all" => {
             run_fig5(scale);
             run_fig6(None, scale);
@@ -111,10 +113,11 @@ fn main() {
             emit("ablation_commit_batching", &ablation_commit_batching(scale));
             emit("ablation_mv_graph", &ablation_mv_graph());
             emit("ablation_streaming", &ablation_streaming(scale));
+            emit("ablation_pipeline", &ablation_pipeline(scale));
         }
         other => {
             eprintln!("unknown command: {other}");
-            eprintln!("usage: repro [fig5|fig6|fig7|ablation-commit|ablation-mv|ablation-streaming|all] [--contention N] [--move GROUP] [--full]");
+            eprintln!("usage: repro [fig5|fig6|fig7|ablation-commit|ablation-mv|ablation-streaming|ablation-pipeline|all] [--contention N] [--move GROUP] [--full]");
             std::process::exit(2);
         }
     }

@@ -14,7 +14,8 @@ pub mod experiments;
 pub mod table;
 
 pub use experiments::{
-    ablation_commit_batching, ablation_mv_graph, ablation_streaming, fig5_block_size,
-    fig6_contention, fig7_geo, measure_point, peak_search, ExperimentScale, Point,
+    ablation_commit_batching, ablation_mv_graph, ablation_pipeline, ablation_streaming,
+    fig5_block_size, fig6_contention, fig7_geo, measure_point, peak_search, ExperimentScale,
+    Point,
 };
 pub use table::Table;

@@ -159,7 +159,7 @@ impl AccountingContract {
 }
 
 fn balance_of(state: &dyn StateReader, key: Key) -> Option<i64> {
-    state.read(key).as_int()
+    state.try_read(key).and_then(|value| value.as_int())
 }
 
 impl SmartContract for AccountingContract {

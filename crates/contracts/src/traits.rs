@@ -12,11 +12,31 @@ use parblock_types::{AppId, Key, Transaction, Value};
 pub trait StateReader {
     /// Reads the current value of `key` ([`Value::Unit`] if absent).
     fn read(&self, key: Key) -> Value;
+
+    /// Reads `key`, distinguishing **absence** (`None`) from a stored
+    /// value — including stored zeros and empty strings, which `read`
+    /// cannot tell apart from a missing key when a contract stores
+    /// [`Value::Unit`]-adjacent data. Contract aborts on missing state
+    /// should be built on this, so they stay observable.
+    ///
+    /// The default maps [`Value::Unit`] to `None`, matching stores that
+    /// use `Unit` as their absence marker; presence-tracking readers
+    /// override it.
+    fn try_read(&self, key: Key) -> Option<Value> {
+        match self.read(key) {
+            Value::Unit => None,
+            value => Some(value),
+        }
+    }
 }
 
 impl StateReader for KvState {
     fn read(&self, key: Key) -> Value {
         self.get(key)
+    }
+
+    fn try_read(&self, key: Key) -> Option<Value> {
+        self.get_versioned(key).map(|(value, _)| value)
     }
 }
 
@@ -42,6 +62,13 @@ impl<R: StateReader> StateReader for OverlayReader<'_, R> {
             .get(&key)
             .cloned()
             .unwrap_or_else(|| self.base.read(key))
+    }
+
+    fn try_read(&self, key: Key) -> Option<Value> {
+        match self.overlay.get(&key) {
+            Some(value) => Some(value.clone()),
+            None => self.base.try_read(key),
+        }
     }
 }
 
@@ -112,6 +139,21 @@ mod tests {
         assert_eq!(view.read(Key(1)), Value::Int(10));
         assert_eq!(view.read(Key(2)), Value::Int(2));
         assert_eq!(view.read(Key(3)), Value::Unit);
+    }
+
+    #[test]
+    fn try_read_distinguishes_absent_from_zero() {
+        let state = KvState::with_genesis([(Key(1), Value::Int(0))]);
+        assert_eq!(state.read(Key(1)), Value::Int(0));
+        assert_eq!(state.try_read(Key(1)), Some(Value::Int(0)), "stored zero");
+        assert_eq!(state.try_read(Key(2)), None, "absent key");
+        assert_eq!(state.read(Key(2)), Value::Unit);
+
+        let overlay_map =
+            HashMap::from([(Key(2), Value::Int(0)), (Key(3), Value::Unit)]);
+        let view = OverlayReader::new(&state, &overlay_map);
+        assert_eq!(view.try_read(Key(2)), Some(Value::Int(0)));
+        assert_eq!(view.try_read(Key(9)), None);
     }
 
     #[test]

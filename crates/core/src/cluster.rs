@@ -71,6 +71,17 @@ pub enum MovedGroup {
     NonExecutors,
 }
 
+/// The default executor pipeline depth: the `PARBLOCK_PIPELINE_DEPTH`
+/// environment variable when it parses to a positive integer (the CI
+/// test matrix sets it), 2 otherwise.
+fn env_pipeline_depth() -> usize {
+    std::env::var("PARBLOCK_PIPELINE_DEPTH")
+        .ok()
+        .and_then(|raw| raw.trim().parse::<usize>().ok())
+        .filter(|&depth| depth >= 1)
+        .unwrap_or(2)
+}
+
 /// Datacenter latency model for an experiment.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TopologySpec {
@@ -124,6 +135,19 @@ pub struct ClusterSpec {
     pub topology: TopologySpec,
     /// Worker threads per OXII executor.
     pub exec_pool: usize,
+    /// How many blocks an OXII executor may keep **in flight** at once,
+    /// executing block `n + 1` over multi-version snapshots while block
+    /// `n`'s tail still commits (§III-A's multi-version adaptation).
+    /// `1` reproduces the paper's strict block-at-a-time barrier (the
+    /// `ablation-pipeline` baseline). Defaults to 2, or to the
+    /// `PARBLOCK_PIPELINE_DEPTH` environment variable when set (the CI
+    /// test matrix pins 1 and 4); values below 1 are treated as 1.
+    pub exec_pipeline_depth: usize,
+    /// τ(A) override: matching results required to commit a transaction.
+    /// `None` (default) requires all of an application's agents; fault
+    /// tests lower it so a redundant agent set tolerates a crashed or
+    /// silenced agent. Clamped to `1..=executors_per_app`.
+    pub commit_quorum: Option<usize>,
     /// Maximum transactions per consensus batch.
     pub batch_max: usize,
     /// Consensus view-change timeout.
@@ -157,6 +181,8 @@ impl ClusterSpec {
             workload: WorkloadConfig::default(),
             topology: TopologySpec::default(),
             exec_pool: 16,
+            exec_pipeline_depth: env_pipeline_depth(),
+            commit_quorum: None,
             batch_max: 64,
             consensus_timeout: Duration::from_secs(5),
             capture_state: false,
@@ -259,10 +285,16 @@ impl ClusterSpec {
         registry
     }
 
-    /// τ(A): matching results required per application.
+    /// τ(A): matching results required per application — every agent by
+    /// default, or the [`ClusterSpec::commit_quorum`] override clamped to
+    /// `1..=executors_per_app`.
     #[must_use]
     pub fn commit_policy(&self) -> CommitPolicy {
-        CommitPolicy::uniform(self.executors_per_app)
+        let tau = self
+            .commit_quorum
+            .unwrap_or(self.executors_per_app)
+            .clamp(1, self.executors_per_app.max(1));
+        CommitPolicy::uniform(tau)
     }
 
     /// How many matching NEWBLOCK copies a peer waits for (`f + 1` under
@@ -386,6 +418,20 @@ mod tests {
         let cfg = spec.workload_config();
         assert_eq!(cfg.block_size, 50);
         assert_eq!(cfg.apps.len(), 3);
+    }
+
+    #[test]
+    fn pipeline_depth_defaults_sane_and_quorum_clamps() {
+        let mut spec = ClusterSpec::new(SystemKind::Oxii);
+        assert!(spec.exec_pipeline_depth >= 1);
+        spec.executors_per_app = 2;
+        assert_eq!(spec.commit_policy().required(AppId(0)), 2, "default τ = all");
+        spec.commit_quorum = Some(1);
+        assert_eq!(spec.commit_policy().required(AppId(0)), 1);
+        spec.commit_quorum = Some(99);
+        assert_eq!(spec.commit_policy().required(AppId(0)), 2, "clamped to agents");
+        spec.commit_quorum = Some(0);
+        assert_eq!(spec.commit_policy().required(AppId(0)), 1, "clamped to ≥ 1");
     }
 
     #[test]

@@ -56,4 +56,4 @@ pub use cluster::{
     TopologySpec,
 };
 pub use metrics::{Metrics, RunReport};
-pub use runner::{run, run_fixed, LoadSpec};
+pub use runner::{run, run_fixed, run_fixed_with_faults, LoadSpec};

@@ -36,6 +36,14 @@ struct Inner {
     first_submit: Mutex<Option<Instant>>,
     last_commit: Mutex<Option<Instant>>,
     state_digest: Mutex<Option<parblock_types::Hash32>>,
+    ledger_head: Mutex<Option<parblock_types::Hash32>>,
+    /// `pipeline_occupancy[d]` counts block starts observed with `d`
+    /// blocks in flight (the just-started one included); index 0 unused.
+    pipeline_occupancy: Mutex<Vec<u64>>,
+    /// Time the observer's next block sat admitted-but-unstarted because
+    /// the execution pipeline was full (µs), and how often that happened.
+    boundary_stall_us: AtomicU64,
+    boundary_stalls: AtomicU64,
 }
 
 impl Metrics {
@@ -119,6 +127,33 @@ impl Metrics {
         *self.inner.state_digest.lock() = Some(digest);
     }
 
+    /// Records the observer's ledger head hash after a block append. The
+    /// hash chain covers block contents *and* order, so two runs with
+    /// equal heads committed the same blocks in the same order.
+    pub fn set_ledger_head(&self, head: parblock_types::Hash32) {
+        *self.inner.ledger_head.lock() = Some(head);
+    }
+
+    /// Records how many blocks were in flight on the observer's executor
+    /// when a block started (the started block included, so depth-1
+    /// execution always records 1).
+    pub fn record_pipeline_occupancy(&self, in_flight: usize) {
+        let mut occupancy = self.inner.pipeline_occupancy.lock();
+        if occupancy.len() <= in_flight {
+            occupancy.resize(in_flight + 1, 0);
+        }
+        occupancy[in_flight] += 1;
+    }
+
+    /// Records one boundary stall: the observer's next block was admitted
+    /// and ready, but the execution pipeline was at capacity for `stall`.
+    pub fn record_boundary_stall(&self, stall: Duration) {
+        self.inner
+            .boundary_stall_us
+            .fetch_add(stall.as_micros() as u64, Ordering::Relaxed);
+        self.inner.boundary_stalls.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Freezes the sink into a report.
     ///
     /// Pruning: submissions still unmatched at report time (dropped by
@@ -159,6 +194,12 @@ impl Metrics {
             window,
             latencies_us: latencies,
             state_digest: *self.inner.state_digest.lock(),
+            ledger_head: *self.inner.ledger_head.lock(),
+            pipeline_occupancy: self.inner.pipeline_occupancy.lock().clone(),
+            boundary_stall: Duration::from_micros(
+                self.inner.boundary_stall_us.load(Ordering::Relaxed),
+            ),
+            boundary_stalls: self.inner.boundary_stalls.load(Ordering::Relaxed),
             messages: 0,
         }
     }
@@ -182,6 +223,18 @@ pub struct RunReport {
     pub latencies_us: Vec<u64>,
     /// Observer's final state digest (when capture was enabled).
     pub state_digest: Option<parblock_types::Hash32>,
+    /// Observer's final ledger head hash — equal heads mean the same
+    /// blocks were committed in the same order.
+    pub ledger_head: Option<parblock_types::Hash32>,
+    /// `pipeline_occupancy[d]` = block starts at the observer with `d`
+    /// blocks in flight (index 0 unused); `[0, n, 0, …]` means strictly
+    /// block-at-a-time execution.
+    pub pipeline_occupancy: Vec<u64>,
+    /// Total time the observer's next block sat ready but unstarted
+    /// because the execution pipeline was full.
+    pub boundary_stall: Duration,
+    /// Number of boundary stalls behind [`RunReport::boundary_stall`].
+    pub boundary_stalls: u64,
     /// Total network messages sent during the run (filled by the runner;
     /// the commit-batching ablation compares this across strategies).
     pub messages: u64,
@@ -220,6 +273,18 @@ impl RunReport {
         }
         let idx = ((self.latencies_us.len() - 1) as f64 * p).round() as usize;
         Duration::from_micros(self.latencies_us[idx])
+    }
+
+    /// The deepest pipeline overlap the observer recorded: the largest
+    /// number of simultaneously in-flight blocks at any block start
+    /// (0 when no block started). Strictly block-at-a-time execution
+    /// yields 1.
+    #[must_use]
+    pub fn max_occupancy(&self) -> usize {
+        self.pipeline_occupancy
+            .iter()
+            .rposition(|&count| count > 0)
+            .unwrap_or(0)
     }
 
     /// Abort rate among processed transactions.
@@ -333,6 +398,10 @@ mod tests {
             window: Duration::from_secs(1),
             latencies_us: (1..=100).collect(),
             state_digest: None,
+            ledger_head: None,
+            pipeline_occupancy: Vec::new(),
+            boundary_stall: Duration::ZERO,
+            boundary_stalls: 0,
             messages: 0,
         };
         assert_eq!(r.latency_percentile(0.0), Duration::from_micros(1));
@@ -347,6 +416,33 @@ mod tests {
         assert_eq!(r.throughput_tps(), 0.0);
         assert_eq!(r.latency_percentile(0.9), Duration::ZERO);
         assert_eq!(r.abort_rate(), 0.0);
+        assert!(r.pipeline_occupancy.is_empty());
+        assert_eq!(r.boundary_stall, Duration::ZERO);
+        assert_eq!(r.ledger_head, None);
+    }
+
+    #[test]
+    fn pipeline_occupancy_and_stalls_accumulate() {
+        let m = Metrics::new();
+        m.record_pipeline_occupancy(1);
+        m.record_pipeline_occupancy(2);
+        m.record_pipeline_occupancy(2);
+        m.record_boundary_stall(Duration::from_micros(300));
+        m.record_boundary_stall(Duration::from_micros(200));
+        let r = m.report();
+        assert_eq!(r.pipeline_occupancy, vec![0, 1, 2]);
+        assert_eq!(r.max_occupancy(), 2);
+        assert_eq!(r.boundary_stall, Duration::from_micros(500));
+        assert_eq!(r.boundary_stalls, 2);
+        assert_eq!(Metrics::new().report().max_occupancy(), 0);
+    }
+
+    #[test]
+    fn ledger_head_records_latest() {
+        let m = Metrics::new();
+        m.set_ledger_head(parblock_types::Hash32([1; 32]));
+        m.set_ledger_head(parblock_types::Hash32([2; 32]));
+        assert_eq!(m.report().ledger_head, Some(parblock_types::Hash32([2; 32])));
     }
 
     #[test]

@@ -14,15 +14,32 @@
 //!
 //! The same node implementation serves *non-executor* peers (agents of no
 //! application): they only run Algorithm 3.
+//!
+//! # The execution pipeline (DESIGN.md §7)
+//!
+//! Up to [`ClusterSpec::exec_pipeline_depth`](crate::ClusterSpec) blocks
+//! are **in flight** at once over a multi-version state
+//! ([`parblock_ledger::MvccState`]), implementing §III-A's multi-version
+//! adaptation: every applied write creates a version stamped with the
+//! writer's log position `(block, seq)`, and a transaction's snapshot
+//! reads the greatest version *below its own position*. A block-`n+1`
+//! transaction whose keys are untouched by still-pending block-`n`
+//! writers starts immediately; conflicting ones wait on cross-block
+//! dependency edges from the retained conflict index
+//! ([`parblock_depgraph::CrossBlockIndex`]). Blocks may finish committing
+//! out of order, but are appended to the ledger strictly in order (the
+//! commit watermark), below which old versions are garbage-collected.
+//! Depth 1 reproduces the paper's block-at-a-time barrier exactly.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::never;
 use parblock_crypto::Signature;
-use parblock_ledger::{KvState, Ledger, Version};
+use parblock_depgraph::{CrossBlockIndex, ReadyTracker};
+use parblock_ledger::{Ledger, MvccState, Version};
 use parblock_net::Endpoint;
 use parblock_types::{BlockNumber, Hash32, NodeId, SeqNo, TxId};
 
@@ -37,7 +54,7 @@ const IDLE_TICK: Duration = Duration::from_micros(500);
 /// Per-block execution state on one executor.
 struct BlockRun {
     bundle: Arc<BlockBundle>,
-    tracker: parblock_depgraph::ReadyTracker,
+    tracker: ReadyTracker,
     /// `We`: positions this node executes (it is an agent of their app).
     we: Vec<bool>,
     /// Result votes per position: `(agent, result)`, deduplicated per
@@ -54,12 +71,21 @@ struct BlockRun {
     we_remaining: usize,
 }
 
+impl BlockRun {
+    fn is_done(&self) -> bool {
+        self.committed_count == self.bundle.block.len()
+    }
+}
+
 /// The executor node (and passive peer) runtime.
 pub(crate) struct Executor {
     shared: Arc<Shared>,
     endpoint: Endpoint<Msg>,
     pool: ExecPool,
-    state: KvState,
+    /// Multi-version blockchain state: every applied write is a versioned
+    /// put at the writer's log position, so concurrent blocks read
+    /// position-correct snapshots.
+    state: MvccState,
     ledger: Ledger,
     /// NEWBLOCK admission (verification + quorum counting).
     admission: NewBlockQuorum,
@@ -67,7 +93,20 @@ pub(crate) struct Executor {
     ready: BTreeMap<u64, Arc<BlockBundle>>,
     /// COMMIT messages for blocks not yet started.
     held_commits: BTreeMap<u64, Vec<Arc<CommitMsg>>>,
-    current: Option<BlockRun>,
+    /// In-flight blocks, by number; at most `depth` of them.
+    runs: BTreeMap<u64, BlockRun>,
+    /// Pending cross-block writers, retained across in-flight blocks.
+    xindex: CrossBlockIndex,
+    /// Writer position → positions in later in-flight blocks waiting on
+    /// its write to be applied (or its abort to be known).
+    xwaiters: HashMap<(u64, SeqNo), Vec<(u64, SeqNo)>>,
+    /// The next block number to start (≥ the ledger's next number;
+    /// in-flight runs live in between).
+    next_to_start: u64,
+    /// Pipeline capacity (`ClusterSpec::exec_pipeline_depth`, min 1).
+    depth: usize,
+    /// When the next block became ready while the pipeline was full.
+    pending_stall: Option<Instant>,
     is_observer: bool,
     /// Peers that receive this node's COMMIT messages.
     commit_dests: Vec<NodeId>,
@@ -75,21 +114,29 @@ pub(crate) struct Executor {
 
 impl Executor {
     pub(crate) fn new(shared: Arc<Shared>, endpoint: Endpoint<Msg>) -> Self {
-        let state = KvState::with_genesis(shared.genesis.iter().cloned());
+        let state = MvccState::with_genesis(shared.genesis.iter().cloned());
         let is_observer = endpoint.id() == shared.spec.observer();
         let commit_dests = shared.spec.peer_ids();
         let pool = ExecPool::new(shared.spec.exec_pool);
         let admission = NewBlockQuorum::new(shared.spec.newblock_quorum());
+        let depth = shared.spec.exec_pipeline_depth.max(1);
+        let ledger = Ledger::new();
+        let next_to_start = ledger.next_number().0;
         Executor {
             shared,
             endpoint,
             pool,
             state,
-            ledger: Ledger::new(),
+            ledger,
             admission,
             ready: BTreeMap::new(),
             held_commits: BTreeMap::new(),
-            current: None,
+            runs: BTreeMap::new(),
+            xindex: CrossBlockIndex::new(),
+            xwaiters: HashMap::new(),
+            next_to_start,
+            depth,
+            pending_stall: None,
             is_observer,
             commit_dests,
         }
@@ -109,10 +156,10 @@ impl Executor {
             }
             let event = {
                 let net = self.endpoint.receiver();
-                let done = if self.current.is_some() {
-                    self.pool.completions().clone()
-                } else {
+                let done = if self.runs.is_empty() {
                     never()
+                } else {
+                    self.pool.completions().clone()
                 };
                 crossbeam::select! {
                     recv(net) -> msg => msg.map(Event::Net).unwrap_or(Event::Idle),
@@ -151,25 +198,50 @@ impl Executor {
         orderer: NodeId,
         sig: &Signature,
     ) {
-        let next_needed = self.ledger.next_number().0;
+        // Blocks below `next_to_start` are started or appended already;
+        // duplicate quorum copies of them are dropped at admission.
+        let next_needed = self.next_to_start;
         if let Some(validated) =
             self.admission
                 .admit(&self.shared, from, bundle, orderer, sig, next_needed)
         {
             self.ready.insert(validated.block.number().0, validated);
-            self.maybe_start_next();
+            self.try_advance();
         }
     }
 
-    fn maybe_start_next(&mut self) {
-        if self.current.is_some() {
-            return;
+    /// Drives the pipeline: appends finished blocks in order and starts
+    /// ready blocks while capacity lasts, until neither makes progress.
+    fn try_advance(&mut self) {
+        loop {
+            let appended = self.drain_finished_blocks();
+            let started = self.try_start_ready();
+            if !appended && !started {
+                break;
+            }
         }
-        let next = self.ledger.next_number().0;
-        let Some(bundle) = self.ready.remove(&next) else {
-            return;
-        };
-        self.start_block(bundle);
+    }
+
+    /// Starts ready blocks in block order while the pipeline has
+    /// capacity. Returns `true` if any block started.
+    fn try_start_ready(&mut self) -> bool {
+        let mut started = false;
+        loop {
+            let next = self.next_to_start;
+            if !self.ready.contains_key(&next) {
+                return started;
+            }
+            if self.runs.len() >= self.depth {
+                // Boundary stall: work is ready but the pipeline is full.
+                if self.pending_stall.is_none() {
+                    self.pending_stall = Some(Instant::now());
+                }
+                return started;
+            }
+            let bundle = self.ready.remove(&next).expect("checked");
+            self.start_block(bundle);
+            started = true;
+        }
     }
 
     fn start_block(&mut self, bundle: Arc<BlockBundle>) {
@@ -177,6 +249,9 @@ impl Executor {
             .graph
             .clone()
             .expect("OXII NEWBLOCK always carries a dependency graph");
+        let number = bundle.block.number().0;
+        debug_assert_eq!(number, self.next_to_start, "blocks start in order");
+        self.next_to_start = number + 1;
         let n = bundle.block.len();
         let me = self.endpoint.id();
         let mut we = vec![false; n];
@@ -187,10 +262,24 @@ impl Executor {
                 we_remaining += 1;
             }
         }
-        let tracker = parblock_depgraph::ReadyTracker::new(&graph);
+        // Cross-block dependencies: pending writers of still-in-flight
+        // earlier blocks that touch this block's keys. At depth 1 the
+        // previous block fully committed before this one starts, so the
+        // index is empty and behaviour is exactly the paper's barrier.
+        let xdeps = self.xindex.admit_block(number, bundle.block.transactions());
+        let mut external = vec![0u32; n];
+        for (i, deps) in xdeps.iter().enumerate() {
+            external[i] = u32::try_from(deps.len()).expect("dependency count fits u32");
+            for &writer in deps {
+                self.xwaiters
+                    .entry(writer)
+                    .or_default()
+                    .push((number, SeqNo(i as u32)));
+            }
+        }
         let mut run = BlockRun {
             bundle,
-            tracker,
+            tracker: ReadyTracker::with_external(&graph, &external),
             we,
             votes: HashMap::new(),
             executed: vec![false; n],
@@ -200,26 +289,29 @@ impl Executor {
             we_remaining,
         };
         let initial = run.tracker.take_ready();
-        self.current = Some(run);
-        self.dispatch_ready(&initial);
-        // Replay commit messages that arrived early.
-        let number = self.current_number().expect("just started").0;
-        if let Some(held) = self.held_commits.remove(&number) {
-            for commit in held {
-                self.on_commit_msg(&commit);
+        self.runs.insert(number, run);
+        if self.is_observer {
+            self.shared.metrics.record_pipeline_occupancy(self.runs.len());
+        }
+        if let Some(since) = self.pending_stall.take() {
+            if self.is_observer {
+                self.shared.metrics.record_boundary_stall(since.elapsed());
             }
         }
-        self.finish_block_if_done();
-    }
-
-    fn current_number(&self) -> Option<BlockNumber> {
-        self.current.as_ref().map(|r| r.bundle.block.number())
+        self.dispatch_ready(number, &initial);
+        // Replay commit messages that arrived early (signature-verified
+        // on receipt).
+        if let Some(held) = self.held_commits.remove(&number) {
+            for commit in held {
+                self.apply_commit(&commit);
+            }
+        }
     }
 
     // ---- Algorithm 1: execution following the dependency graph --------
 
-    fn dispatch_ready(&mut self, ready: &[SeqNo]) {
-        let Some(run) = self.current.as_ref() else {
+    fn dispatch_ready(&mut self, number: u64, ready: &[SeqNo]) {
+        let Some(run) = self.runs.get(&number) else {
             return;
         };
         let block_number = run.bundle.block.number();
@@ -233,12 +325,16 @@ impl Executor {
             let Ok(contract) = self.shared.registry.contract(tx.app()) else {
                 continue;
             };
-            // Snapshot the declared read set from the current state
-            // (predecessor writes are already applied — the graph
-            // guarantees it).
+            // Version-positioned snapshot of the declared read set: the
+            // greatest version below this transaction's log position.
+            // Every earlier writer of these keys has applied (in-block:
+            // the dependency graph; cross-block: the conflict index), so
+            // this is the serial-order prefix state for these keys even
+            // while other blocks execute concurrently.
+            let position = Version::new(block_number, seq);
             let mut snapshot = HashMap::new();
             for key in tx.rw_set().reads() {
-                snapshot.insert(*key, self.state.get(*key));
+                snapshot.insert(*key, self.state.get_at(*key, position));
             }
             items.push(WorkItem {
                 block: block_number,
@@ -255,63 +351,98 @@ impl Executor {
     }
 
     fn on_completion(&mut self, completion: Completion) {
-        let Some(run) = self.current.as_mut() else {
-            return;
-        };
-        if completion.block != run.bundle.block.number() {
-            return; // stale completion from an abandoned run
-        }
+        let number = completion.block.0;
         let seq = completion.seq;
         let idx = seq.0 as usize;
-        if run.executed[idx] {
-            return;
-        }
-        run.executed[idx] = true;
-        run.we_remaining -= 1;
-        // Apply own writes immediately (deterministic across agents), so
-        // successors read them (Xe semantics of Algorithm 1).
+        let cut = {
+            let Some(run) = self.runs.get_mut(&number) else {
+                return; // stale completion from a finished block
+            };
+            if run.executed[idx] {
+                return;
+            }
+            run.executed[idx] = true;
+            run.we_remaining -= 1;
+            // Algorithm 2: multicast when another application needs this
+            // result, or when our share of the block is complete. The
+            // per-transaction alternative (ablation) flushes every time.
+            let graph = run
+                .bundle
+                .graph
+                .as_ref()
+                .expect("OXII bundle carries graph");
+            match self.shared.spec.commit_flush {
+                crate::cluster::CommitFlush::Cut => {
+                    graph.has_foreign_successor(seq) || run.we_remaining == 0
+                }
+                crate::cluster::CommitFlush::PerTransaction => true,
+            }
+        };
+        // Apply own writes immediately as a versioned put (deterministic
+        // across agents), so successors read them (Xe semantics of
+        // Algorithm 1).
         if let ExecResult::Committed(writes) = &completion.result {
             let version = Version::new(completion.block, seq);
-            self.state.apply_versioned(writes.iter().cloned(), version);
+            self.state.apply(writes.iter().cloned(), version);
         }
-        run.xe_buffer.push((seq, completion.result.clone()));
-
-        // Algorithm 2: multicast when another application needs this
-        // result, or when our share of the block is complete. The
-        // per-transaction alternative (ablation) flushes every time.
-        let graph = run
-            .bundle
-            .graph
-            .as_ref()
-            .expect("OXII bundle carries graph");
-        let cut = match self.shared.spec.commit_flush {
-            crate::cluster::CommitFlush::Cut => {
-                graph.has_foreign_successor(seq) || run.we_remaining == 0
-            }
-            crate::cluster::CommitFlush::PerTransaction => true,
-        };
+        if let Some(run) = self.runs.get_mut(&number) {
+            run.xe_buffer.push((seq, completion.result.clone()));
+        }
         if cut {
-            self.flush_commit_buffer();
+            self.flush_commit_buffer(number);
         }
 
         // Vote our own result (Algorithm 3 treats it like any agent's).
         let me = self.endpoint.id();
-        self.record_vote(seq, me, completion.result);
+        self.record_vote(number, seq, me, completion.result);
 
-        // Xe membership releases successors for local execution.
-        let newly = self
-            .current
-            .as_mut()
-            .map(|r| r.tracker.complete(seq))
-            .unwrap_or_default();
-        self.dispatch_ready(&newly);
-        self.finish_block_if_done();
+        // Xe membership releases successors for local execution — both
+        // in-block (dependency graph) and cross-block (conflict index).
+        self.complete_position(number, seq);
+        self.try_advance();
+    }
+
+    /// Marks a position complete in its run's tracker, dispatches newly
+    /// ready in-block successors, and — on the *first* completion —
+    /// retires the position from the cross-block index, releasing
+    /// waiting transactions in later in-flight blocks.
+    fn complete_position(&mut self, number: u64, seq: SeqNo) {
+        let Some(run) = self.runs.get_mut(&number) else {
+            return;
+        };
+        let first = !run.tracker.is_complete(seq);
+        let newly = run.tracker.complete(seq);
+        if !newly.is_empty() {
+            self.dispatch_ready(number, &newly);
+        }
+        if first {
+            self.release_cross_block(number, seq);
+        }
+    }
+
+    /// Retires `(number, seq)` as a pending cross-block writer: its
+    /// writes are applied (or it aborted), so later-block readers and
+    /// writers waiting on it may proceed.
+    fn release_cross_block(&mut self, number: u64, seq: SeqNo) {
+        self.xindex.complete(number, seq);
+        let Some(waiters) = self.xwaiters.remove(&(number, seq)) else {
+            return;
+        };
+        for (wait_block, wait_seq) in waiters {
+            let now_ready = self
+                .runs
+                .get_mut(&wait_block)
+                .is_some_and(|run| run.tracker.release_external(wait_seq));
+            if now_ready {
+                self.dispatch_ready(wait_block, &[wait_seq]);
+            }
+        }
     }
 
     // ---- Algorithm 2: multicasting the results ------------------------
 
-    fn flush_commit_buffer(&mut self) {
-        let Some(run) = self.current.as_mut() else {
+    fn flush_commit_buffer(&mut self, number: u64) {
+        let Some(run) = self.runs.get_mut(&number) else {
             return;
         };
         if run.xe_buffer.is_empty() {
@@ -340,25 +471,30 @@ impl Executor {
         if !self.shared.keys.verify(signer, &digest.0, &commit.sig) {
             return;
         }
-        let current = self.current_number();
-        match current {
-            Some(number) if commit.block == number => {}
-            _ => {
-                // Early (future block) or late (already finished): hold or
-                // drop respectively.
-                if commit.block.0 >= self.ledger.next_number().0 {
-                    self.held_commits
-                        .entry(commit.block.0)
-                        .or_default()
-                        .push(Arc::clone(commit));
-                }
-                return;
-            }
+        let number = commit.block.0;
+        if self.runs.contains_key(&number) {
+            self.apply_commit(commit);
+        } else if number >= self.next_to_start {
+            // Early: the block has not started here yet.
+            self.held_commits
+                .entry(number)
+                .or_default()
+                .push(Arc::clone(commit));
         }
+        // Late (block already appended): drop.
+        self.try_advance();
+    }
+
+    /// Counts a verified COMMIT message's votes against its in-flight
+    /// run.
+    fn apply_commit(&mut self, commit: &Arc<CommitMsg>) {
+        let number = commit.block.0;
         for (seq, result) in &commit.results {
             // Algorithm 3 checks the sender is an agent of x's app.
             let app = {
-                let run = self.current.as_ref().expect("checked above");
+                let Some(run) = self.runs.get(&number) else {
+                    return;
+                };
                 match run.bundle.block.tx(*seq) {
                     Some(tx) => tx.app(),
                     None => continue,
@@ -367,15 +503,14 @@ impl Executor {
             if !self.shared.registry.is_agent(commit.executor, app) {
                 continue;
             }
-            self.record_vote(*seq, commit.executor, result.clone());
+            self.record_vote(number, *seq, commit.executor, result.clone());
         }
-        self.finish_block_if_done();
     }
 
     /// Records one agent's result for `seq`; commits the transaction once
     /// τ(A) matching results are present.
-    fn record_vote(&mut self, seq: SeqNo, agent: NodeId, result: ExecResult) {
-        let Some(run) = self.current.as_mut() else {
+    fn record_vote(&mut self, number: u64, seq: SeqNo, agent: NodeId, result: ExecResult) {
+        let Some(run) = self.runs.get_mut(&number) else {
             return;
         };
         let idx = seq.0 as usize;
@@ -406,29 +541,31 @@ impl Executor {
             .find(|(_, count)| *count >= required)
             .map(|(r, _)| r.clone());
         if let Some(result) = winner {
-            self.commit_tx(seq, result);
+            self.commit_tx(number, seq, result);
         }
     }
 
-    fn commit_tx(&mut self, seq: SeqNo, result: ExecResult) {
-        let Some(run) = self.current.as_mut() else {
-            return;
-        };
+    fn commit_tx(&mut self, number: u64, seq: SeqNo, result: ExecResult) {
         let idx = seq.0 as usize;
-        if run.committed[idx] {
-            return;
-        }
-        run.committed[idx] = true;
-        run.committed_count += 1;
-        let block_number = run.bundle.block.number();
-        let tx_id: TxId = run.bundle.block.tx(seq).expect("valid").id();
-        let executed_locally = run.executed[idx];
+        let (block_number, tx_id, executed_locally) = {
+            let Some(run) = self.runs.get_mut(&number) else {
+                return;
+            };
+            if run.committed[idx] {
+                return;
+            }
+            run.committed[idx] = true;
+            run.committed_count += 1;
+            let tx_id: TxId = run.bundle.block.tx(seq).expect("valid").id();
+            (run.bundle.block.number(), tx_id, run.executed[idx])
+        };
         match &result {
             ExecResult::Committed(writes) => {
-                // Agents applied their own writes at execution time.
+                // Agents applied their own writes at execution time; a
+                // re-applied identical version is idempotent.
                 if !executed_locally {
                     let version = Version::new(block_number, seq);
-                    self.state.apply_versioned(writes.iter().cloned(), version);
+                    self.state.apply(writes.iter().cloned(), version);
                 }
                 if self.is_observer {
                     self.shared.metrics.record_commit(tx_id);
@@ -441,37 +578,43 @@ impl Executor {
             }
         }
         // Ce membership releases successors (Algorithm 1's Ce ∪ Xe).
-        let newly = self
-            .current
-            .as_mut()
-            .map(|r| r.tracker.complete(seq))
-            .unwrap_or_default();
-        self.dispatch_ready(&newly);
+        self.complete_position(number, seq);
     }
 
-    fn finish_block_if_done(&mut self) {
-        let done = self
-            .current
-            .as_ref()
-            .is_some_and(|run| run.committed_count == run.bundle.block.len());
-        if !done {
-            return;
-        }
-        let run = self.current.take().expect("checked");
-        // Flush any tail results that were not cut by a foreign successor
-        // (defensive: we_remaining == 0 normally flushed already).
-        debug_assert!(run.xe_buffer.is_empty());
-        self.ledger
-            .append(run.bundle.block.clone())
-            .expect("blocks arrive in order with verified hash links");
-        if self.is_observer {
-            self.shared.metrics.record_block();
-            if self.shared.spec.capture_state {
-                self.shared.metrics.set_state_digest(self.state.digest());
+    /// Appends fully committed blocks to the ledger **strictly in
+    /// order** — the commit watermark only ever moves forward — pruning
+    /// state versions below it. Returns `true` if any block appended.
+    fn drain_finished_blocks(&mut self) -> bool {
+        let mut appended = false;
+        loop {
+            let next = self.ledger.next_number().0;
+            if !self.runs.get(&next).is_some_and(BlockRun::is_done) {
+                return appended;
             }
+            // Flush any tail results not yet multicast: with τ(A) below
+            // the full agent set, a block can fully commit on remote
+            // votes before this node's own share finishes executing, so
+            // the `we_remaining == 0` cut may never have fired.
+            self.flush_commit_buffer(next);
+            let run = self.runs.remove(&next).expect("checked");
+            self.ledger
+                .append(run.bundle.block.clone())
+                .expect("blocks arrive in order with verified hash links");
+            // Garbage-collect below the watermark: every future reader is
+            // positioned in a later block, so only the newest version at
+            // or below the end of this block stays reachable per key.
+            self.state
+                .prune(Version::new(BlockNumber(next), SeqNo(u32::MAX)));
+            if self.is_observer {
+                self.shared.metrics.record_block();
+                self.shared.metrics.set_ledger_head(self.ledger.head_hash());
+                if self.shared.spec.capture_state {
+                    self.shared.metrics.set_state_digest(self.state.digest());
+                }
+            }
+            self.held_commits.remove(&next);
+            appended = true;
         }
-        self.held_commits.remove(&run.bundle.block.number().0);
-        self.maybe_start_next();
     }
 }
 

@@ -8,6 +8,7 @@
 //! on a channel the main loop selects on.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -20,20 +21,50 @@ use parblock_types::{BlockNumber, Key, SeqNo, Transaction, Value};
 use crate::msg::ExecResult;
 
 /// A read view over a snapshot taken by the executor's main thread.
-#[derive(Debug, Clone)]
+///
+/// Entries cover the transaction's **declared** read set; `Some(value)`
+/// is a key present at the reader's version position, `None` a key with
+/// no committed version there — so contracts can distinguish "key
+/// absent" from "key holds zero" (via [`StateReader::try_read`]) and
+/// abort observably on missing state.
+///
+/// A read outside the declared set is a scheduling-contract violation
+/// (the dependency graph never ordered it): it is flagged, and the
+/// worker pool deterministically aborts the execution instead of
+/// silently serving a default value.
+#[derive(Debug)]
 pub(crate) struct SnapshotReader {
-    values: HashMap<Key, Value>,
+    entries: HashMap<Key, Option<Value>>,
+    undeclared: AtomicBool,
 }
 
 impl SnapshotReader {
-    pub(crate) fn new(values: HashMap<Key, Value>) -> Self {
-        SnapshotReader { values }
+    pub(crate) fn new(entries: HashMap<Key, Option<Value>>) -> Self {
+        SnapshotReader {
+            entries,
+            undeclared: AtomicBool::new(false),
+        }
+    }
+
+    /// Whether the contract read a key outside the declared read set.
+    pub(crate) fn undeclared_read(&self) -> bool {
+        self.undeclared.load(Ordering::Relaxed)
     }
 }
 
 impl StateReader for SnapshotReader {
     fn read(&self, key: Key) -> Value {
-        self.values.get(&key).cloned().unwrap_or_default()
+        self.try_read(key).unwrap_or_default()
+    }
+
+    fn try_read(&self, key: Key) -> Option<Value> {
+        match self.entries.get(&key) {
+            Some(present) => present.clone(),
+            None => {
+                self.undeclared.store(true, Ordering::Relaxed);
+                None
+            }
+        }
     }
 }
 
@@ -77,9 +108,21 @@ impl ExecPool {
                         if !item.cost.is_zero() {
                             std::thread::sleep(item.cost);
                         }
-                        let result = match item.contract.execute(&item.tx, &item.snapshot) {
-                            ExecOutcome::Commit(writes) => ExecResult::Committed(writes),
-                            ExecOutcome::Abort(reason) => ExecResult::Aborted(reason),
+                        let outcome = item.contract.execute(&item.tx, &item.snapshot);
+                        // A read outside the declared set executed against
+                        // state the scheduler never ordered: abort
+                        // deterministically (every agent sees the same
+                        // declared set, so all agents agree).
+                        let result = if item.snapshot.undeclared_read() {
+                            ExecResult::Aborted(format!(
+                                "undeclared read outside the declared read set of {:?}",
+                                item.tx.id()
+                            ))
+                        } else {
+                            match outcome {
+                                ExecOutcome::Commit(writes) => ExecResult::Committed(writes),
+                                ExecOutcome::Abort(reason) => ExecResult::Aborted(reason),
+                            }
                         };
                         let _ = done_tx.send(Completion {
                             block: item.block,
@@ -144,13 +187,15 @@ mod tests {
             amount: 5,
         };
         let tx = contract.transaction(ClientId(1), 0, &op);
-        let mut values = HashMap::new();
-        values.insert(Key(1), Value::Int(10));
+        // `to` is declared but absent: transfers create the destination.
+        let mut entries = HashMap::new();
+        entries.insert(Key(1), Some(Value::Int(10)));
+        entries.insert(Key(2), None);
         pool.dispatch(WorkItem {
             block: BlockNumber(1),
             seq: SeqNo(0),
             tx,
-            snapshot: SnapshotReader::new(values),
+            snapshot: SnapshotReader::new(entries),
             contract,
             cost: Duration::from_micros(50),
         });
@@ -169,9 +214,24 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_reader_defaults_to_unit() {
-        let reader = SnapshotReader::new(HashMap::new());
-        assert_eq!(reader.read(Key(9)), Value::Unit);
+    fn snapshot_reader_distinguishes_absent_from_zero() {
+        let reader = SnapshotReader::new(HashMap::from([
+            (Key(1), Some(Value::Int(0))),
+            (Key(2), None),
+        ]));
+        assert_eq!(reader.try_read(Key(1)), Some(Value::Int(0)), "stored zero");
+        assert_eq!(reader.try_read(Key(2)), None, "declared but absent");
+        assert_eq!(reader.read(Key(2)), Value::Unit);
+        assert!(!reader.undeclared_read(), "declared reads never flag");
+    }
+
+    #[test]
+    fn snapshot_reader_flags_undeclared_reads() {
+        let reader = SnapshotReader::new(HashMap::from([(Key(1), Some(Value::Int(1)))]));
+        assert_eq!(reader.read(Key(1)), Value::Int(1));
+        assert!(!reader.undeclared_read());
+        assert_eq!(reader.read(Key(9)), Value::Unit, "undeclared key");
+        assert!(reader.undeclared_read());
     }
 
     #[test]
@@ -184,12 +244,12 @@ mod tests {
             amount: 5,
         };
         let tx = contract.transaction(ClientId(1), 0, &op);
-        // Empty snapshot: source account missing.
+        // Both accounts declared but absent: source account missing.
         pool.dispatch(WorkItem {
             block: BlockNumber(1),
             seq: SeqNo(3),
             tx,
-            snapshot: SnapshotReader::new(HashMap::new()),
+            snapshot: SnapshotReader::new(HashMap::from([(Key(1), None), (Key(2), None)])),
             contract,
             cost: Duration::ZERO,
         });
@@ -197,7 +257,48 @@ mod tests {
             .completions()
             .recv_timeout(Duration::from_secs(1))
             .expect("completion");
-        assert!(matches!(done.result, ExecResult::Aborted(_)));
+        match done.result {
+            ExecResult::Aborted(reason) => {
+                assert!(
+                    reason.contains("missing"),
+                    "missing-state abort must be observable, got: {reason}"
+                );
+            }
+            ExecResult::Committed(_) => panic!("expected abort"),
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn undeclared_reads_abort_instead_of_committing_on_defaults() {
+        let pool = ExecPool::new(1);
+        let contract = Arc::new(AccountingContract::new(AppId(0)));
+        let op = AccountingOp::Transfer {
+            from: Key(1),
+            to: Key(2),
+            amount: 5,
+        };
+        let tx = contract.transaction(ClientId(1), 0, &op);
+        // Snapshot omits the declared keys entirely (mimics a scheduler
+        // bug): previously this committed against silent defaults.
+        pool.dispatch(WorkItem {
+            block: BlockNumber(1),
+            seq: SeqNo(0),
+            tx,
+            snapshot: SnapshotReader::new(HashMap::from([(Key(1), Some(Value::Int(100)))])),
+            contract,
+            cost: Duration::ZERO,
+        });
+        let done = pool
+            .completions()
+            .recv_timeout(Duration::from_secs(1))
+            .expect("completion");
+        match done.result {
+            ExecResult::Aborted(reason) => {
+                assert!(reason.contains("undeclared read"), "got: {reason}");
+            }
+            ExecResult::Committed(w) => panic!("must not commit on undeclared reads: {w:?}"),
+        }
         pool.shutdown();
     }
 }

@@ -19,7 +19,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use parblock_consensus::ProtocolConfig;
-use parblock_net::{NetworkBuilder, SimNetwork};
+use parblock_net::{Faults, NetworkBuilder, SimNetwork};
 
 use crate::cluster::{ClusterSpec, ConsensusKind, SystemKind};
 use crate::hostcons::AnyConsensus;
@@ -139,6 +139,35 @@ pub fn run(spec: &ClusterSpec, load: &LoadSpec) -> RunReport {
 /// invalid anyway because XOV aborts conflicting transactions.
 #[must_use]
 pub fn run_fixed(spec: &ClusterSpec, count: usize, rate_tps: f64, timeout: Duration) -> RunReport {
+    run_fixed_impl(spec, count, rate_tps, timeout, None)
+}
+
+/// Like [`run_fixed`], but hands the network's live [`Faults`] plan to
+/// `fault_script` on a separate thread once the cluster is up, so a test
+/// can crash/restart nodes or drop links **mid-run**. The script must
+/// return (it is joined before the report is taken).
+///
+/// # Panics
+///
+/// Panics for [`SystemKind::Xov`], like [`run_fixed`].
+#[must_use]
+pub fn run_fixed_with_faults(
+    spec: &ClusterSpec,
+    count: usize,
+    rate_tps: f64,
+    timeout: Duration,
+    fault_script: impl FnOnce(Faults) + Send + 'static,
+) -> RunReport {
+    run_fixed_impl(spec, count, rate_tps, timeout, Some(Box::new(fault_script)))
+}
+
+fn run_fixed_impl(
+    spec: &ClusterSpec,
+    count: usize,
+    rate_tps: f64,
+    timeout: Duration,
+    fault_script: Option<Box<dyn FnOnce(Faults) + Send>>,
+) -> RunReport {
     assert!(
         spec.system != SystemKind::Xov,
         "run_fixed supports OX and OXII only"
@@ -180,6 +209,14 @@ pub fn run_fixed(spec: &ClusterSpec, count: usize, rate_tps: f64, timeout: Durat
         handles.push(handle);
     }
 
+    let script_handle = fault_script.map(|script| {
+        let faults = net.faults();
+        std::thread::Builder::new()
+            .name("fault-script".into())
+            .spawn(move || script(faults))
+            .expect("spawn fault script")
+    });
+
     let client_endpoint = net.endpoint(spec.client_node());
     driver::run_driver_count(&shared, &client_endpoint, rate_tps, count);
 
@@ -188,6 +225,13 @@ pub fn run_fixed(spec: &ClusterSpec, count: usize, rate_tps: f64, timeout: Durat
         std::thread::sleep(Duration::from_millis(5));
     }
     shared.stop.store(true, Ordering::Relaxed);
+    if let Some(handle) = script_handle {
+        // A crashed fault script means the faults were never injected —
+        // surface it instead of letting the test pass vacuously.
+        if let Err(panic) = handle.join() {
+            std::panic::resume_unwind(panic);
+        }
+    }
     for handle in handles {
         let _ = handle.join();
     }

@@ -55,4 +55,4 @@ pub use builder::DependencyMode;
 pub use graph::DependencyGraph;
 pub use opgraph::{OpGraph, OpKind, OpRef};
 pub use schedule::{ExecutionLayers, ReadyTracker};
-pub use streaming::StreamingBuilder;
+pub use streaming::{CrossBlockIndex, StreamingBuilder};

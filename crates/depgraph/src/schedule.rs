@@ -54,12 +54,23 @@ impl ReadyTracker {
     /// Creates a tracker over `graph`; all roots are immediately ready.
     #[must_use]
     pub fn new(graph: &DependencyGraph) -> Self {
+        Self::with_external(graph, &[])
+    }
+
+    /// Creates a tracker over `graph` whose position `i` additionally
+    /// waits for `external[i]` out-of-graph predecessors (cross-block
+    /// dependencies on still-pending writers of earlier blocks). A missing
+    /// entry counts as zero. External predecessors are released through
+    /// [`ReadyTracker::release_external`], not [`ReadyTracker::complete`].
+    #[must_use]
+    pub fn with_external(graph: &DependencyGraph, external: &[u32]) -> Self {
         let n = graph.len();
         let mut pending_preds = Vec::with_capacity(n);
         let mut ready = VecDeque::new();
         for i in 0..n {
             let seq = SeqNo(i as u32);
-            let preds = graph.predecessors(seq).len() as u32;
+            let preds =
+                graph.predecessors(seq).len() as u32 + external.get(i).copied().unwrap_or(0);
             pending_preds.push(preds);
             if preds == 0 {
                 ready.push_back(seq);
@@ -70,6 +81,32 @@ impl ReadyTracker {
             pending_preds,
             ready,
             completed: 0,
+        }
+    }
+
+    /// Releases one external (cross-block) predecessor of `x`; returns
+    /// `true` when that was the last outstanding predecessor and `x` is
+    /// now ready (it is also queued for [`ReadyTracker::take_ready`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has no outstanding predecessors — an external release
+    /// must match a count registered via [`ReadyTracker::with_external`].
+    pub fn release_external(&mut self, x: SeqNo) -> bool {
+        let idx = x.0 as usize;
+        if self.pending_preds[idx] == u32::MAX {
+            return false; // already complete (e.g. committed from votes)
+        }
+        assert!(
+            self.pending_preds[idx] > 0,
+            "external release for {x:?} without a registered dependency"
+        );
+        self.pending_preds[idx] -= 1;
+        if self.pending_preds[idx] == 0 {
+            self.ready.push_back(x);
+            true
+        } else {
+            false
         }
     }
 
@@ -234,6 +271,42 @@ mod tests {
         assert!(t.complete(SeqNo(0)).is_empty());
         assert!(t.is_complete(SeqNo(0)));
         assert!(!t.is_done());
+    }
+
+    #[test]
+    fn external_deps_hold_back_roots_until_released() {
+        // 0 -> 1; position 0 additionally waits on two cross-block
+        // writers, position 2 on one.
+        let g = graph(3, &[(0, 1)]);
+        let mut t = ReadyTracker::with_external(&g, &[2, 0, 1]);
+        assert!(t.take_ready().is_empty(), "every root has external deps");
+        assert!(!t.release_external(SeqNo(0)), "one of two released");
+        assert!(t.release_external(SeqNo(0)), "second release readies it");
+        assert_eq!(t.take_ready(), vec![SeqNo(0)]);
+        assert!(t.release_external(SeqNo(2)));
+        assert_eq!(t.complete(SeqNo(0)), vec![SeqNo(1)]);
+        t.complete(SeqNo(1));
+        t.complete(SeqNo(2));
+        assert!(t.is_done());
+    }
+
+    #[test]
+    fn external_release_after_completion_is_a_no_op() {
+        // A transaction can commit from remote votes before its external
+        // predecessor retires; the late release must not underflow.
+        let g = graph(1, &[]);
+        let mut t = ReadyTracker::with_external(&g, &[1]);
+        assert!(t.complete(SeqNo(0)).is_empty());
+        assert!(!t.release_external(SeqNo(0)));
+        assert!(t.is_done());
+    }
+
+    #[test]
+    fn missing_external_entries_default_to_zero() {
+        let g = graph(3, &[]);
+        let mut t = ReadyTracker::with_external(&g, &[1]);
+        assert_eq!(t.take_ready(), vec![SeqNo(1), SeqNo(2)]);
+        assert!(t.release_external(SeqNo(0)));
     }
 
     #[test]

@@ -195,6 +195,129 @@ impl StreamingBuilder {
     }
 }
 
+/// A conflict index **retained across blocks**: the cross-block companion
+/// of [`StreamingBuilder`] that executors use to pipeline block `n + 1`
+/// over the still-running tail of block `n` (§III-A's multi-version
+/// adaptation: reads are directed to the correct version by log position,
+/// so only *writer → later-transaction* orderings cross block boundaries).
+///
+/// The index tracks, per key, the **pending writers** — transactions of
+/// admitted blocks whose writes have not yet been applied to the
+/// executor's (multi-version) state. Admitting a block returns, per
+/// position, the pending writers of earlier blocks that touch the
+/// position's read or write keys:
+///
+/// * a *read* key dependency positions the reader after the writer whose
+///   version it must observe (W→R);
+/// * a *write* key dependency keeps the per-key writer chain transitive
+///   across blocks (W→W), so a reader released by an **aborted** last
+///   writer still finds the previous version applied.
+///
+/// Read-before-write orderings (R→W) are deliberately **not** emitted:
+/// under multi-version state a later writer creates a new version instead
+/// of clobbering the one an in-flight reader is positioned at — that is
+/// the concurrency the pipeline exists to harvest.
+///
+/// In-block conflicts are the [`DependencyGraph`]'s job; admission
+/// computes dependencies against the index state *before* registering the
+/// new block's writers, so no in-block edge is ever duplicated.
+///
+/// # Examples
+///
+/// ```
+/// use parblock_depgraph::CrossBlockIndex;
+/// use parblock_types::{AppId, ClientId, Key, RwSet, SeqNo, Transaction};
+///
+/// let tx = |ts, rw| Transaction::new(AppId(0), ClientId(1), ts, rw, vec![]);
+/// let mut index = CrossBlockIndex::new();
+/// let deps = index.admit_block(1, &[tx(1, RwSet::write_only([Key(7)]))]);
+/// assert!(deps[0].is_empty(), "block 1 has no earlier blocks");
+/// // Block 2 reads the key block 1 still holds pending.
+/// let deps = index.admit_block(2, &[tx(2, RwSet::read_only([Key(7)]))]);
+/// assert_eq!(deps[0], vec![(1, SeqNo(0))]);
+/// // Once the writer's result is applied, nothing is pending.
+/// index.complete(1, SeqNo(0));
+/// assert_eq!(index.pending_writers(), 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct CrossBlockIndex {
+    /// Pending writers per key, ascending by `(block, seq)`.
+    writers: HashMap<Key, Vec<(u64, SeqNo)>>,
+    /// Reverse map: pending writer → keys it writes (for O(writes)
+    /// removal on completion).
+    by_writer: HashMap<(u64, SeqNo), Vec<Key>>,
+}
+
+impl CrossBlockIndex {
+    /// Creates an empty index.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of writers whose completion the index is still awaiting.
+    #[must_use]
+    pub fn pending_writers(&self) -> usize {
+        self.by_writer.len()
+    }
+
+    /// Admits the transactions of block `block` (positions follow slice
+    /// order) and returns, per position, its cross-block dependencies:
+    /// the pending writers of **earlier** blocks touching the position's
+    /// read or write keys, ascending and deduplicated.
+    ///
+    /// Blocks must be admitted in ascending order; every returned
+    /// dependency must eventually be retired via
+    /// [`CrossBlockIndex::complete`].
+    pub fn admit_block(&mut self, block: u64, txs: &[Transaction]) -> Vec<Vec<(u64, SeqNo)>> {
+        // Pass 1: dependencies against the pre-existing (earlier-block)
+        // index state only.
+        let mut deps = Vec::with_capacity(txs.len());
+        for tx in txs {
+            let mut mine: Vec<(u64, SeqNo)> = Vec::new();
+            for key in tx.rw_set().reads().iter().chain(tx.rw_set().writes()) {
+                if let Some(pending) = self.writers.get(key) {
+                    mine.extend(pending.iter().copied());
+                }
+            }
+            mine.sort_unstable();
+            mine.dedup();
+            debug_assert!(mine.iter().all(|&(b, _)| b < block));
+            deps.push(mine);
+        }
+        // Pass 2: register this block's writers as pending.
+        for (i, tx) in txs.iter().enumerate() {
+            let seq = SeqNo(u32::try_from(i).expect("block exceeds u32 positions"));
+            let write_keys: Vec<Key> = tx.rw_set().writes().iter().copied().collect();
+            if write_keys.is_empty() {
+                continue;
+            }
+            for key in &write_keys {
+                self.writers.entry(*key).or_default().push((block, seq));
+            }
+            self.by_writer.insert((block, seq), write_keys);
+        }
+        deps
+    }
+
+    /// Retires a pending writer: its writes are now applied to the state
+    /// (or it aborted and never will write). Idempotent; transactions
+    /// that write nothing were never pending and retire as a no-op.
+    pub fn complete(&mut self, block: u64, seq: SeqNo) {
+        let Some(keys) = self.by_writer.remove(&(block, seq)) else {
+            return;
+        };
+        for key in keys {
+            if let Some(pending) = self.writers.get_mut(&key) {
+                pending.retain(|&w| w != (block, seq));
+                if pending.is_empty() {
+                    self.writers.remove(&key);
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use parblock_types::{Block, BlockNumber, ClientId, Hash32, RwSet};
@@ -298,5 +421,80 @@ mod tests {
         let g = builder.finish();
         assert!(g.is_empty());
         assert_eq!(g.edge_count(), 0);
+    }
+
+    // ---- CrossBlockIndex ----------------------------------------------
+
+    #[test]
+    fn cross_block_reader_waits_on_pending_writer_only() {
+        let mut index = CrossBlockIndex::new();
+        let b1 = [
+            tx(1, RwSet::write_only([k(1)])),
+            tx(2, RwSet::write_only([k(2)])),
+        ];
+        assert!(index.admit_block(1, &b1).iter().all(Vec::is_empty));
+        // Key 2's writer retires before block 2 is admitted.
+        index.complete(1, SeqNo(1));
+        let b2 = [
+            tx(3, RwSet::read_only([k(1)])),
+            tx(4, RwSet::read_only([k(2)])),
+            tx(5, RwSet::read_only([k(9)])),
+        ];
+        let deps = index.admit_block(2, &b2);
+        assert_eq!(deps[0], vec![(1, SeqNo(0))], "pending writer blocks");
+        assert!(deps[1].is_empty(), "retired writer does not block");
+        assert!(deps[2].is_empty(), "untouched key does not block");
+    }
+
+    #[test]
+    fn cross_block_writer_chain_spans_blocks() {
+        // W(k) in block 1, W(k) in block 2: the W→W edge keeps the chain
+        // transitive so a reader in block 3 survives a block-2 abort.
+        let mut index = CrossBlockIndex::new();
+        index.admit_block(1, &[tx(1, RwSet::write_only([k(7)]))]);
+        let deps = index.admit_block(2, &[tx(2, RwSet::write_only([k(7)]))]);
+        assert_eq!(deps[0], vec![(1, SeqNo(0))]);
+        let deps = index.admit_block(3, &[tx(3, RwSet::read_only([k(7)]))]);
+        assert_eq!(deps[0], vec![(1, SeqNo(0)), (2, SeqNo(0))]);
+    }
+
+    #[test]
+    fn cross_block_no_read_to_write_edges() {
+        // A pure reader in block 1 never blocks a writer in block 2:
+        // multi-version state gives the reader its own version.
+        let mut index = CrossBlockIndex::new();
+        index.admit_block(1, &[tx(1, RwSet::read_only([k(5)]))]);
+        let deps = index.admit_block(2, &[tx(2, RwSet::write_only([k(5)]))]);
+        assert!(deps[0].is_empty());
+        assert_eq!(index.pending_writers(), 1, "only the block-2 writer");
+    }
+
+    #[test]
+    fn cross_block_no_in_block_duplicates_and_dedup() {
+        let mut index = CrossBlockIndex::new();
+        index.admit_block(1, &[tx(1, RwSet::write_only([k(1), k(2)]))]);
+        // Same-block conflict (positions 0, 1) must not appear; a tx
+        // touching two keys of one pending writer depends on it once.
+        let b2 = [
+            tx(2, RwSet::write_only([k(1)])),
+            tx(3, RwSet::new([k(1)], [k(1)])),
+            tx(4, RwSet::new([k(1), k(2)], [])),
+        ];
+        let deps = index.admit_block(2, &b2);
+        assert_eq!(deps[1], vec![(1, SeqNo(0))], "no same-block edges");
+        assert_eq!(deps[2], vec![(1, SeqNo(0))], "two keys, one dependency");
+    }
+
+    #[test]
+    fn cross_block_complete_is_idempotent_and_skips_non_writers() {
+        let mut index = CrossBlockIndex::new();
+        index.admit_block(1, &[tx(1, RwSet::read_only([k(1)]))]);
+        assert_eq!(index.pending_writers(), 0, "readers are never pending");
+        index.complete(1, SeqNo(0));
+        index.complete(9, SeqNo(9)); // unknown writer: no-op
+        index.admit_block(2, &[tx(2, RwSet::write_only([k(1)]))]);
+        index.complete(2, SeqNo(0));
+        index.complete(2, SeqNo(0));
+        assert_eq!(index.pending_writers(), 0);
     }
 }

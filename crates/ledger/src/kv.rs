@@ -147,15 +147,26 @@ impl KvState {
     /// versions that produced them differ.
     #[must_use]
     pub fn digest(&self) -> parblock_types::Hash32 {
-        let mut entries: Vec<(&Key, &(Value, Version))> = self.entries.iter().collect();
-        entries.sort_by_key(|(k, _)| **k);
-        let mut hasher = parblock_crypto::Sha256::new();
-        for (key, (value, _)) in entries {
-            hasher.update(&key.0.to_le_bytes());
-            hasher.update(format!("{value:?}").as_bytes());
-        }
-        hasher.finalize()
+        digest_entries(self.entries.iter().map(|(k, (v, _))| (*k, v)))
     }
+}
+
+/// Hashes a key→value mapping (sorted by key internally) into the state
+/// digest. Shared by [`KvState::digest`] and
+/// [`crate::MvccState::digest`] so single- and multi-version stores that
+/// converged to the same mapping stay byte-compatible.
+pub(crate) fn digest_entries<'a, I>(entries: I) -> parblock_types::Hash32
+where
+    I: IntoIterator<Item = (Key, &'a Value)>,
+{
+    let mut entries: Vec<(Key, &Value)> = entries.into_iter().collect();
+    entries.sort_by_key(|(k, _)| *k);
+    let mut hasher = parblock_crypto::Sha256::new();
+    for (key, value) in entries {
+        hasher.update(&key.0.to_le_bytes());
+        hasher.update(format!("{value:?}").as_bytes());
+    }
+    hasher.finalize()
 }
 
 #[cfg(test)]

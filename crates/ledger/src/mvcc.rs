@@ -65,17 +65,31 @@ impl MvccState {
         }
     }
 
+    /// Applies a batch of writes, all stamped with `version`.
+    pub fn apply<I: IntoIterator<Item = (Key, Value)>>(&mut self, writes: I, version: Version) {
+        for (k, v) in writes {
+            self.put(k, v, version);
+        }
+    }
+
     /// Reads the value of `key` visible at `position`: the latest version
     /// `≤ position`. Returns [`Value::Unit`] if no such version exists.
     #[must_use]
     pub fn read_at(&self, key: Key, position: Version) -> Value {
-        let Some(chain) = self.chains.get(&key) else {
-            return Value::Unit;
-        };
+        self.get_at(key, position).unwrap_or_default()
+    }
+
+    /// Reads the value of `key` visible at `position`, distinguishing a
+    /// key with **no version** at or below the position (`None`) from one
+    /// explicitly holding a value — the presence signal contract aborts on
+    /// missing state are built from.
+    #[must_use]
+    pub fn get_at(&self, key: Key, position: Version) -> Option<Value> {
+        let chain = self.chains.get(&key)?;
         match chain.binary_search_by_key(&position, |(v, _)| *v) {
-            Ok(i) => chain[i].1.clone(),
-            Err(0) => Value::Unit,
-            Err(i) => chain[i - 1].1.clone(),
+            Ok(i) => Some(chain[i].1.clone()),
+            Err(0) => None,
+            Err(i) => Some(chain[i - 1].1.clone()),
         }
     }
 
@@ -93,6 +107,37 @@ impl MvccState {
     #[must_use]
     pub fn version_count(&self, key: Key) -> usize {
         self.chains.get(&key).map_or(0, Vec::len)
+    }
+
+    /// The versions of `key`, ascending (empty if the key was never
+    /// written). Exposed for invariant checks and tests.
+    #[must_use]
+    pub fn versions_of(&self, key: Key) -> Vec<Version> {
+        self.chains
+            .get(&key)
+            .map(|chain| chain.iter().map(|(v, _)| *v).collect())
+            .unwrap_or_default()
+    }
+
+    /// Total number of stored versions across all keys — the quantity the
+    /// commit-watermark garbage collection bounds.
+    #[must_use]
+    pub fn total_versions(&self) -> usize {
+        self.chains.values().map(Vec::len).sum()
+    }
+
+    /// A digest of the **latest** values (keys and contents, not version
+    /// histories), byte-compatible with [`crate::KvState::digest`] (the
+    /// serialization is shared): a multi-version store and a
+    /// single-version store that converged to the same key→value mapping
+    /// share a digest.
+    #[must_use]
+    pub fn digest(&self) -> parblock_types::Hash32 {
+        crate::kv::digest_entries(
+            self.chains
+                .iter()
+                .filter_map(|(k, chain)| chain.last().map(|(_, v)| (*k, v))),
+        )
     }
 
     /// Garbage-collects versions strictly older than `horizon`, keeping at
@@ -177,5 +222,39 @@ mod tests {
     fn genesis_constructor() {
         let s = MvccState::with_genesis([(Key(1), Value::Int(7))]);
         assert_eq!(s.read_at(Key(1), Version::GENESIS), Value::Int(7));
+    }
+
+    #[test]
+    fn get_at_distinguishes_absent_from_written_zero() {
+        let mut s = MvccState::new();
+        s.put(Key(1), Value::Int(0), v(1, 0));
+        assert_eq!(s.get_at(Key(1), v(1, 0)), Some(Value::Int(0)));
+        assert_eq!(s.get_at(Key(1), Version::GENESIS), None, "before the write");
+        assert_eq!(s.get_at(Key(2), v(9, 0)), None, "never written");
+        assert_eq!(s.read_at(Key(2), v(9, 0)), Value::Unit);
+    }
+
+    #[test]
+    fn digest_matches_kv_state_on_same_mapping() {
+        let mut mv = MvccState::new();
+        mv.put(Key(1), Value::Int(1), v(1, 0));
+        mv.put(Key(1), Value::Int(7), v(2, 3)); // history differs, latest wins
+        mv.put(Key(2), Value::Int(2), v(1, 1));
+        let mut kv = crate::KvState::new();
+        kv.put(Key(1), Value::Int(7), v(5, 5));
+        kv.put(Key(2), Value::Int(2), v(1, 1));
+        assert_eq!(mv.digest(), kv.digest());
+        mv.put(Key(2), Value::Int(3), v(3, 0));
+        assert_ne!(mv.digest(), kv.digest());
+    }
+
+    #[test]
+    fn apply_batch_and_version_accounting() {
+        let mut s = MvccState::new();
+        s.apply([(Key(1), Value::Int(1)), (Key(2), Value::Int(2))], v(1, 0));
+        s.apply([(Key(1), Value::Int(3))], v(2, 0));
+        assert_eq!(s.total_versions(), 3);
+        assert_eq!(s.versions_of(Key(1)), vec![v(1, 0), v(2, 0)]);
+        assert_eq!(s.versions_of(Key(9)), Vec::<Version>::new());
     }
 }

@@ -8,7 +8,7 @@
 //! timed loop reports mean ns/iter (and MiB/s when a byte throughput is
 //! set) to stdout. No statistics, outlier analysis, or HTML reports;
 //! swap the workspace dependency back to the real crate for those. See
-//! DESIGN.md §7 for the shim policy.
+//! DESIGN.md §8 for the shim policy.
 
 use std::fmt::{self, Display};
 use std::hint::black_box;

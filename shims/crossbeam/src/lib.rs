@@ -8,7 +8,7 @@
 //! drained; `send` errors once all receivers are gone. [`select!`] is
 //! polling-based (20 µs granularity), which is indistinguishable from
 //! real blocking selection at the simulation's 500 µs idle tick. See
-//! DESIGN.md §7 for the shim policy.
+//! DESIGN.md §8 for the shim policy.
 
 /// MPMC channels with crossbeam-shaped errors.
 pub mod channel {

@@ -5,7 +5,7 @@
 //! takes `&mut MutexGuard`, and [`MutexGuard::unlocked`]. Poisoning — the
 //! one std behavior parking_lot removes — is neutralized by unwrapping
 //! into the inner guard, which matches parking_lot's "no poisoning"
-//! semantics. See DESIGN.md §7 for the shim policy.
+//! semantics. See DESIGN.md §8 for the shim policy.
 
 use std::ops::{Deref, DerefMut};
 use std::sync::{self, PoisonError};

@@ -16,7 +16,7 @@
 //!   persistence file.
 //!
 //! Both are acceptable here because the suites assert genuine invariants
-//! expected to hold for *all* inputs. See DESIGN.md §7 for the shim
+//! expected to hold for *all* inputs. See DESIGN.md §8 for the shim
 //! policy.
 
 use std::fmt;

@@ -8,7 +8,7 @@
 //! source; they make no statistical claims that distinguish SplitMix64
 //! from the real crate's ChaCha-based `StdRng`. Seeded runs are
 //! reproducible within this shim (not bit-compatible with upstream).
-//! See DESIGN.md §7 for the shim policy.
+//! See DESIGN.md §8 for the shim policy.
 
 use std::ops::{Range, RangeInclusive};
 

@@ -5,7 +5,7 @@
 //! the derive share a name across namespaces, so
 //! `use serde::{Deserialize, Serialize};` followed by
 //! `#[derive(Serialize, Deserialize)]` compiles exactly as it would
-//! against the real crate. See DESIGN.md §7 for the shim policy.
+//! against the real crate. See DESIGN.md §8 for the shim policy.
 
 pub use serde_derive::{Deserialize, Serialize};
 
