@@ -11,6 +11,9 @@
 //! repro ablation-mv          # single- vs multi-version graphs
 //! repro ablation-streaming   # streaming vs batch graph construction
 //! repro ablation-pipeline    # cross-block execution pipeline vs block barrier
+//! repro ablation-durability  # in-memory vs on-disk (WAL+fsync) execution
+//! repro recover              # kill a durable cluster, recover from disk, verify digests
+//! repro recover --data-dir D # same, persisting under D instead of a tempdir
 //! repro all                  # everything
 //! repro all --full           # everything, longer measurement points
 //! ```
@@ -18,8 +21,9 @@
 //! Results print to stdout and are written as CSV under `bench_results/`.
 
 use parblock_bench::{
-    ablation_commit_batching, ablation_mv_graph, ablation_pipeline, ablation_streaming,
-    fig5_block_size, fig6_contention, fig7_geo, ExperimentScale, Table,
+    ablation_commit_batching, ablation_durability, ablation_mv_graph, ablation_pipeline,
+    ablation_streaming, default_data_dir, fig5_block_size, fig6_contention, fig7_geo,
+    recover_demo, ExperimentScale, Table,
 };
 use parblockchain::MovedGroup;
 
@@ -106,6 +110,13 @@ fn main() {
         "ablation-mv" => emit("ablation_mv_graph", &ablation_mv_graph()),
         "ablation-streaming" => emit("ablation_streaming", &ablation_streaming(scale)),
         "ablation-pipeline" => emit("ablation_pipeline", &ablation_pipeline(scale)),
+        "ablation-durability" => emit("ablation_durability", &ablation_durability(scale)),
+        "recover" => {
+            let data_dir = arg_value("--data-dir")
+                .map_or_else(default_data_dir, std::path::PathBuf::from);
+            println!("(cluster stores under {})", data_dir.display());
+            emit("recover", &recover_demo(&data_dir));
+        }
         "all" => {
             run_fig5(scale);
             run_fig6(None, scale);
@@ -114,10 +125,12 @@ fn main() {
             emit("ablation_mv_graph", &ablation_mv_graph());
             emit("ablation_streaming", &ablation_streaming(scale));
             emit("ablation_pipeline", &ablation_pipeline(scale));
+            emit("ablation_durability", &ablation_durability(scale));
+            emit("recover", &recover_demo(&default_data_dir()));
         }
         other => {
             eprintln!("unknown command: {other}");
-            eprintln!("usage: repro [fig5|fig6|fig7|ablation-commit|ablation-mv|ablation-streaming|ablation-pipeline|all] [--contention N] [--move GROUP] [--full]");
+            eprintln!("usage: repro [fig5|fig6|fig7|ablation-commit|ablation-mv|ablation-streaming|ablation-pipeline|ablation-durability|recover|all] [--contention N] [--move GROUP] [--data-dir DIR] [--full]");
             std::process::exit(2);
         }
     }

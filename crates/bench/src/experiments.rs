@@ -375,6 +375,64 @@ pub fn ablation_pipeline(scale: ExperimentScale) -> Table {
     table
 }
 
+/// **Ablation**: durability overhead — the executor-bound pipeline
+/// cluster of [`ablation_pipeline`] run with durability off
+/// (`InMemory`), with the default group-commit cadence, and with an
+/// aggressive fsync-per-8-records cadence. Reports throughput, latency,
+/// and the new durability counters (WAL volume, fsync barriers,
+/// checkpoints), quantifying what persist-before-COMMIT costs on the
+/// hot path.
+#[must_use]
+pub fn ablation_durability(scale: ExperimentScale) -> Table {
+    let mut table = Table::new([
+        "durability",
+        "flush_interval",
+        "throughput_tps",
+        "latency_ms",
+        "wal_mb",
+        "fsyncs",
+        "checkpoints",
+    ]);
+    let count = match scale {
+        ExperimentScale::Quick => 3_000,
+        ExperimentScale::Full => 9_000,
+    };
+    let base = std::env::temp_dir().join(format!("parblock-abl-dur-{}", std::process::id()));
+    let variants: [(&str, Option<usize>); 3] =
+        [("in-memory", None), ("on-disk", Some(64)), ("on-disk", Some(8))];
+    for (i, (label, flush)) in variants.into_iter().enumerate() {
+        let mut spec = spec_for(SystemKind::Oxii, 0.0, false);
+        spec.exec_pipeline_depth = 2;
+        spec.block_cut = BlockCutConfig::with_max_txns(100);
+        spec.costs = ExecutionCosts::per_tx(Duration::from_micros(500));
+        spec.exec_pool = 8;
+        spec.batch_max = 256;
+        spec.topology.intra = Duration::from_millis(2);
+        spec.durability = match flush {
+            None => parblockchain::DurabilityMode::InMemory,
+            Some(flush_interval) => {
+                spec.durability_config.flush_interval = flush_interval;
+                parblockchain::DurabilityMode::OnDisk {
+                    data_dir: base.join(format!("variant-{i}")),
+                    fresh: true,
+                }
+            }
+        };
+        let report = run_fixed(&spec, count, 30_000.0, Duration::from_secs(120));
+        table.row([
+            label.to_string(),
+            flush.map_or_else(|| "-".to_string(), |f| f.to_string()),
+            format!("{:.0}", report.throughput_tps()),
+            format!("{:.2}", report.avg_latency().as_secs_f64() * 1e3),
+            format!("{:.2}", report.wal_bytes_written as f64 / 1e6),
+            report.fsync_count.to_string(),
+            report.checkpoint_count.to_string(),
+        ]);
+    }
+    let _ = std::fs::remove_dir_all(&base);
+    table
+}
+
 /// **Ablation**: single-version vs multi-version dependency rules
 /// (§III-A's multi-version adaptation): edge count and critical path on
 /// identical blocks. Pure graph analysis — no cluster needed.
@@ -486,6 +544,10 @@ mod tests {
             pipeline_occupancy: Vec::new(),
             boundary_stall: Duration::ZERO,
             boundary_stalls: 0,
+            wal_bytes_written: 0,
+            fsync_count: 0,
+            checkpoint_count: 0,
+            recovery_replay_len: 0,
             messages: 42,
         };
         let p = Point::from_report(500.0, &report);

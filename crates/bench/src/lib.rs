@@ -11,11 +11,13 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod recover;
 pub mod table;
 
 pub use experiments::{
-    ablation_commit_batching, ablation_mv_graph, ablation_pipeline, ablation_streaming,
-    fig5_block_size, fig6_contention, fig7_geo, measure_point, peak_search, ExperimentScale,
-    Point,
+    ablation_commit_batching, ablation_durability, ablation_mv_graph, ablation_pipeline,
+    ablation_streaming, fig5_block_size, fig6_contention, fig7_geo, measure_point, peak_search,
+    ExperimentScale, Point,
 };
+pub use recover::{default_data_dir, recover_demo};
 pub use table::Table;

@@ -1,0 +1,158 @@
+//! The `repro recover` demonstration: kill a durable cluster mid-block,
+//! recover it from disk, and verify the resumed run is byte-equal to an
+//! uninterrupted reference (DESIGN.md §9).
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use parblockchain::{
+    run_fixed, run_fixed_from, run_fixed_with_faults, ClusterSpec, DurabilityMode, SystemKind,
+};
+
+use crate::table::Table;
+
+const COUNT: usize = 400;
+const BLOCK_TXNS: usize = 25;
+
+fn spec(data_dir: &Path) -> ClusterSpec {
+    let mut spec = ClusterSpec::new(SystemKind::Oxii);
+    spec.block_cut = parblock_types::BlockCutConfig {
+        max_txns: BLOCK_TXNS,
+        max_bytes: usize::MAX,
+        max_wait: Duration::from_secs(5),
+    };
+    spec.costs = parblock_types::ExecutionCosts::per_tx(Duration::from_micros(100));
+    spec.topology.intra = Duration::from_micros(100);
+    spec.exec_pool = 4;
+    spec.workload.contention = 0.5;
+    spec.capture_state = true;
+    spec.durability = DurabilityMode::on_disk(data_dir);
+    spec.durability_config = parblock_types::DurabilityConfig {
+        flush_interval: 16,
+        checkpoint_interval: 4,
+    };
+    spec
+}
+
+fn hex_prefix(hash: Option<parblock_types::Hash32>) -> String {
+    hash.map_or_else(|| "-".to_string(), |h| h.to_hex()[..12].to_string())
+}
+
+/// Runs the kill → reconcile → recover → resume sequence under
+/// `data_dir` (a fresh subdirectory is used per invocation) and returns
+/// the phase-by-phase report. The final row states whether ledger head
+/// and state digest are byte-equal to the uninterrupted reference.
+///
+/// # Panics
+///
+/// Panics if store reconciliation fails or the recovered run diverges —
+/// this is a verification tool; divergence is a bug, not a data point.
+#[must_use]
+pub fn recover_demo(data_dir: &Path) -> Table {
+    let mut table = Table::new([
+        "phase",
+        "committed",
+        "blocks",
+        "ledger_head",
+        "state_digest",
+        "replayed",
+    ]);
+    let reference_dir = data_dir.join("reference");
+    let cluster_dir = data_dir.join("cluster");
+    let _ = std::fs::remove_dir_all(&reference_dir);
+    let _ = std::fs::remove_dir_all(&cluster_dir);
+
+    // Phase 0: uninterrupted reference.
+    let ref_spec = spec(&reference_dir);
+    let reference = run_fixed(&ref_spec, COUNT, 4_000.0, Duration::from_secs(60));
+    assert_eq!(
+        reference.committed, COUNT as u64,
+        "reference run incomplete: {reference:?}"
+    );
+    table.row([
+        "reference".into(),
+        reference.committed.to_string(),
+        reference.blocks.to_string(),
+        hex_prefix(reference.ledger_head),
+        hex_prefix(reference.state_digest),
+        "-".into(),
+    ]);
+
+    // Phase 1: identical workload, every node killed mid-run.
+    let cluster_spec = spec(&cluster_dir);
+    let all: Vec<_> = cluster_spec
+        .orderer_ids()
+        .into_iter()
+        .chain(cluster_spec.peer_ids())
+        .collect();
+    let killed = run_fixed_with_faults(
+        &cluster_spec,
+        COUNT,
+        4_000.0,
+        Duration::from_secs(3),
+        move |faults| {
+            std::thread::sleep(Duration::from_millis(50));
+            for &node in &all {
+                faults.crash(node);
+            }
+        },
+    );
+    table.row([
+        "killed mid-run".into(),
+        killed.committed.to_string(),
+        killed.blocks.to_string(),
+        hex_prefix(killed.ledger_head),
+        hex_prefix(killed.state_digest),
+        "-".into(),
+    ]);
+
+    // Phase 2: startup state transfer to one consistent watermark.
+    let peers: Vec<u32> = cluster_spec.peer_ids().iter().map(|n| n.0).collect();
+    let orderers: Vec<u32> = cluster_spec.orderer_ids().iter().map(|n| n.0).collect();
+    let watermark = parblock_store::reconcile_cluster(
+        &cluster_dir,
+        &peers,
+        &orderers,
+        cluster_spec.durability_config,
+    )
+    .expect("reconcile cluster stores");
+    let skip = watermark.0 as usize * BLOCK_TXNS;
+
+    // Phase 3: recover from disk and resume the deterministic workload.
+    let resumed = run_fixed_from(&cluster_spec, skip, COUNT, 4_000.0, Duration::from_secs(60));
+    table.row([
+        format!("recovered @ block {}", watermark.0),
+        resumed.committed.to_string(),
+        resumed.blocks.to_string(),
+        hex_prefix(resumed.ledger_head),
+        hex_prefix(resumed.state_digest),
+        resumed.recovery_replay_len.to_string(),
+    ]);
+
+    let heads_match = resumed.ledger_head == reference.ledger_head;
+    let digests_match = resumed.state_digest == reference.state_digest;
+    let verdict = if heads_match && digests_match {
+        "byte-equal"
+    } else {
+        "DIVERGED"
+    };
+    table.row([
+        "verdict",
+        verdict,
+        "-",
+        if heads_match { "match" } else { "MISMATCH" },
+        if digests_match { "match" } else { "MISMATCH" },
+        "-",
+    ]);
+    assert!(
+        heads_match && digests_match,
+        "recovered run diverged from the reference"
+    );
+    table
+}
+
+/// The default data directory for `repro recover`.
+#[must_use]
+pub fn default_data_dir() -> PathBuf {
+    std::env::temp_dir().join(format!("parblock-recover-{}", std::process::id()))
+}

@@ -1,5 +1,6 @@
 //! Cluster specification: node layout, topology, application deployment.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -8,7 +9,7 @@ use parblock_crypto::{KeyRegistry, SignerId};
 use parblock_depgraph::DependencyMode;
 use parblock_net::{DcId, Topology};
 use parblock_types::{
-    AppId, BlockCutConfig, ClientId, CommitPolicy, ExecutionCosts, NodeId,
+    AppId, BlockCutConfig, ClientId, CommitPolicy, DurabilityConfig, ExecutionCosts, NodeId,
 };
 use parblock_workload::WorkloadConfig;
 
@@ -69,6 +70,63 @@ pub enum MovedGroup {
     Executors,
     /// Fig 7(d).
     NonExecutors,
+}
+
+/// Where OXII nodes persist their ledger and state (DESIGN.md §9).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DurabilityMode {
+    /// No persistence: the seed behaviour. A crashed node loses its
+    /// ledger and state.
+    InMemory,
+    /// Durable `parblock_store` under `data_dir/node-<id>` per node:
+    /// write-ahead log, block store, checkpoints, crash recovery.
+    OnDisk {
+        /// The cluster data directory.
+        data_dir: PathBuf,
+        /// When `true`, each run starts from an empty store (existing
+        /// node directories are wiped at cluster startup). Set by the
+        /// `PARBLOCK_DATA_DIR` env default so unrelated runs sharing a
+        /// spec never recover each other's state; explicit
+        /// crash-recovery setups clear it.
+        fresh: bool,
+    },
+}
+
+impl DurabilityMode {
+    /// Stable on-disk durability under `data_dir` (recovery across
+    /// runs: the node directories are reused, never wiped).
+    #[must_use]
+    pub fn on_disk(data_dir: impl Into<PathBuf>) -> Self {
+        DurabilityMode::OnDisk {
+            data_dir: data_dir.into(),
+            fresh: false,
+        }
+    }
+
+    /// `true` for any on-disk variant.
+    #[must_use]
+    pub fn is_on_disk(&self) -> bool {
+        matches!(self, DurabilityMode::OnDisk { .. })
+    }
+}
+
+/// The default durability mode: when `PARBLOCK_DATA_DIR` is set (the CI
+/// durability job points it at a tempdir), every cluster persists under
+/// a unique fresh subdirectory of it; otherwise in-memory.
+fn env_durability() -> DurabilityMode {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    match std::env::var("PARBLOCK_DATA_DIR") {
+        Ok(base) if !base.trim().is_empty() => {
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            DurabilityMode::OnDisk {
+                data_dir: PathBuf::from(base.trim())
+                    .join(format!("run-{}-{n}", std::process::id())),
+                fresh: true,
+            }
+        }
+        _ => DurabilityMode::InMemory,
+    }
 }
 
 /// The default executor pipeline depth: the `PARBLOCK_PIPELINE_DEPTH`
@@ -152,6 +210,12 @@ pub struct ClusterSpec {
     pub batch_max: usize,
     /// Consensus view-change timeout.
     pub consensus_timeout: Duration,
+    /// Where OXII nodes (orderers and executor peers) persist their
+    /// chain and state. Defaults to `PARBLOCK_DATA_DIR` when set (a
+    /// fresh unique subdirectory per spec), in-memory otherwise.
+    pub durability: DurabilityMode,
+    /// Fsync batching and checkpoint cadence for on-disk durability.
+    pub durability_config: DurabilityConfig,
     /// When set, the observer records a digest of the blockchain state
     /// after every block, exposed as `RunReport::state_digest` (used by
     /// correctness tests; costs one state hash per block).
@@ -185,6 +249,8 @@ impl ClusterSpec {
             commit_quorum: None,
             batch_max: 64,
             consensus_timeout: Duration::from_secs(5),
+            durability: env_durability(),
+            durability_config: DurabilityConfig::default(),
             capture_state: false,
             commit_flush: CommitFlush::default(),
             seed: 42,
@@ -432,6 +498,24 @@ mod tests {
         assert_eq!(spec.commit_policy().required(AppId(0)), 2, "clamped to agents");
         spec.commit_quorum = Some(0);
         assert_eq!(spec.commit_policy().required(AppId(0)), 1, "clamped to ≥ 1");
+    }
+
+    #[test]
+    fn durability_mode_constructors() {
+        let spec = ClusterSpec::new(SystemKind::Oxii);
+        // Env-independent invariant: whatever the default resolved to,
+        // the explicit constructor is stable and non-fresh.
+        let explicit = DurabilityMode::on_disk("/tmp/x");
+        assert!(explicit.is_on_disk());
+        assert_eq!(
+            explicit,
+            DurabilityMode::OnDisk {
+                data_dir: PathBuf::from("/tmp/x"),
+                fresh: false
+            }
+        );
+        assert!(!DurabilityMode::InMemory.is_on_disk());
+        assert!(spec.durability_config.flush_interval >= 1);
     }
 
     #[test]

@@ -26,17 +26,28 @@ pub(crate) fn run_driver(
     rate_tps: f64,
     duration: Duration,
 ) {
-    run_driver_inner(shared, endpoint, rate_tps, Some(duration), None);
+    run_driver_inner(shared, endpoint, rate_tps, Some(duration), None, 0);
 }
 
-/// Submits exactly `count` transactions at `rate_tps`, then returns.
-pub(crate) fn run_driver_count(
+/// Submits transactions `[skip, count)` of the deterministic workload
+/// stream at `rate_tps`: the first `skip` are generated and discarded
+/// (they are already in the recovered chain of a resumed cluster), the
+/// rest are submitted.
+pub(crate) fn run_driver_count_from(
     shared: &Arc<Shared>,
     endpoint: &Endpoint<Msg>,
     rate_tps: f64,
+    skip: usize,
     count: usize,
 ) {
-    run_driver_inner(shared, endpoint, rate_tps, None, Some(count));
+    run_driver_inner(
+        shared,
+        endpoint,
+        rate_tps,
+        None,
+        Some(count.saturating_sub(skip)),
+        skip,
+    );
 }
 
 fn run_driver_inner(
@@ -45,9 +56,21 @@ fn run_driver_inner(
     rate_tps: f64,
     duration: Option<Duration>,
     count: Option<usize>,
+    skip: usize,
 ) {
     let mut gen = WorkloadGen::new(shared.spec.workload_config());
     let mut buffer: VecDeque<Transaction> = VecDeque::new();
+    // Fast-forward the deterministic stream past the already-committed
+    // prefix without submitting (or timing) it.
+    let mut to_skip = skip;
+    while to_skip > 0 {
+        if buffer.is_empty() {
+            buffer.extend(gen.window());
+        }
+        let drop = to_skip.min(buffer.len());
+        buffer.drain(..drop);
+        to_skip -= drop;
+    }
     let entry = shared.spec.entry_orderer();
     let per_tick = rate_tps * TICK.as_secs_f64();
     let mut acc = 0.0f64;

@@ -1,0 +1,66 @@
+//! Per-node durability construction (DESIGN.md §9).
+//!
+//! Resolves `ClusterSpec::durability` into the [`Durability`] handle a
+//! node writes through, recovering any existing on-disk store in the
+//! process. Orderers, which persist only the chain, open the
+//! [`parblock_store::Store`] directly via [`open_orderer_store`].
+
+use parblock_ledger::{Durability, InMemory};
+use parblock_store::{OnDisk, Recovered, Store};
+use parblock_types::NodeId;
+
+use crate::cluster::{ClusterSpec, DurabilityMode};
+
+/// A node's durability handle plus whatever its store recovered.
+pub(crate) struct NodeDurability {
+    pub durability: Box<dyn Durability>,
+    /// `Some` when an on-disk store held a sealed chain to resume from.
+    pub recovered: Option<Recovered>,
+}
+
+/// Builds the durability handle for an executor peer.
+///
+/// # Panics
+///
+/// Panics if the on-disk store cannot be opened or is internally
+/// inconsistent — a node that cannot guarantee durability must not
+/// serve (DESIGN.md §9).
+pub(crate) fn for_peer(spec: &ClusterSpec, node: NodeId) -> NodeDurability {
+    match &spec.durability {
+        DurabilityMode::InMemory => NodeDurability {
+            durability: Box::new(InMemory),
+            recovered: None,
+        },
+        DurabilityMode::OnDisk { data_dir, .. } => {
+            let dir = Store::node_dir(data_dir, node.0);
+            let (on_disk, recovered) = OnDisk::open(&dir, spec.durability_config)
+                .unwrap_or_else(|e| panic!("open durable store {}: {e}", dir.display()));
+            NodeDurability {
+                durability: Box::new(on_disk),
+                recovered: (!recovered.is_empty()).then_some(recovered),
+            }
+        }
+    }
+}
+
+/// Opens the chain store for an orderer (`None` when in-memory). The
+/// orderer seals emitted blocks before announcing them and recovers its
+/// chain position (and exactly-once dedup set) from the store.
+///
+/// # Panics
+///
+/// Panics if the store cannot be opened, like [`for_peer`].
+pub(crate) fn open_orderer_store(
+    spec: &ClusterSpec,
+    node: NodeId,
+) -> Option<(Store, Recovered)> {
+    match &spec.durability {
+        DurabilityMode::InMemory => None,
+        DurabilityMode::OnDisk { data_dir, .. } => {
+            let dir = Store::node_dir(data_dir, node.0);
+            let opened = Store::open(&dir, spec.durability_config)
+                .unwrap_or_else(|e| panic!("open orderer store {}: {e}", dir.display()));
+            Some(opened)
+        }
+    }
+}

@@ -39,6 +39,7 @@ pub mod batch;
 pub mod cluster;
 pub mod cutter;
 mod driver;
+mod durability;
 pub mod hostcons;
 pub mod metrics;
 pub mod msg;
@@ -52,8 +53,8 @@ mod shared;
 pub mod xov;
 
 pub use cluster::{
-    ClusterSpec, CommitFlush, ConsensusKind, GraphConstruction, MovedGroup, SystemKind,
-    TopologySpec,
+    ClusterSpec, CommitFlush, ConsensusKind, DurabilityMode, GraphConstruction, MovedGroup,
+    SystemKind, TopologySpec,
 };
 pub use metrics::{Metrics, RunReport};
-pub use runner::{run, run_fixed, run_fixed_with_faults, LoadSpec};
+pub use runner::{run, run_fixed, run_fixed_from, run_fixed_with_faults, LoadSpec};

@@ -13,6 +13,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
+use parblock_ledger::DurabilityStats;
 use parblock_types::TxId;
 
 /// Shared metrics sink. Cloning shares the underlying state.
@@ -44,6 +45,9 @@ struct Inner {
     /// the execution pipeline was full (µs), and how often that happened.
     boundary_stall_us: AtomicU64,
     boundary_stalls: AtomicU64,
+    /// Durability counters of the observer's executor (zeroes when
+    /// running in-memory), set once when the executor shuts down.
+    durability: Mutex<DurabilityStats>,
 }
 
 impl Metrics {
@@ -145,6 +149,13 @@ impl Metrics {
         occupancy[in_flight] += 1;
     }
 
+    /// Records the observer executor's durability counters (WAL bytes,
+    /// fsyncs, checkpoints, recovery replay length). Called once at
+    /// executor shutdown; all zeroes under in-memory durability.
+    pub fn set_durability_stats(&self, stats: DurabilityStats) {
+        *self.inner.durability.lock() = stats;
+    }
+
     /// Records one boundary stall: the observer's next block was admitted
     /// and ready, but the execution pipeline was at capacity for `stall`.
     pub fn record_boundary_stall(&self, stall: Duration) {
@@ -186,6 +197,7 @@ impl Metrics {
             (Some(a), Some(b)) if b > a => b - a,
             _ => Duration::ZERO,
         };
+        let durability = *self.inner.durability.lock();
         RunReport {
             committed: self.inner.committed.load(Ordering::Relaxed),
             aborted: self.inner.aborted.load(Ordering::Relaxed),
@@ -200,6 +212,10 @@ impl Metrics {
                 self.inner.boundary_stall_us.load(Ordering::Relaxed),
             ),
             boundary_stalls: self.inner.boundary_stalls.load(Ordering::Relaxed),
+            wal_bytes_written: durability.wal_bytes_written,
+            fsync_count: durability.fsync_count,
+            checkpoint_count: durability.checkpoint_count,
+            recovery_replay_len: durability.recovery_replay_len,
             messages: 0,
         }
     }
@@ -235,6 +251,17 @@ pub struct RunReport {
     pub boundary_stall: Duration,
     /// Number of boundary stalls behind [`RunReport::boundary_stall`].
     pub boundary_stalls: u64,
+    /// Bytes the observer's executor appended to its write-ahead log
+    /// (zero under in-memory durability).
+    pub wal_bytes_written: u64,
+    /// Fsync barriers the observer's executor issued (WAL group
+    /// commits, block seals, checkpoint publishes).
+    pub fsync_count: u64,
+    /// State checkpoints the observer's executor wrote.
+    pub checkpoint_count: u64,
+    /// WAL records the observer's executor replayed above its checkpoint
+    /// when it recovered at startup (zero for a fresh store).
+    pub recovery_replay_len: u64,
     /// Total network messages sent during the run (filled by the runner;
     /// the commit-batching ablation compares this across strategies).
     pub messages: u64,
@@ -402,6 +429,10 @@ mod tests {
             pipeline_occupancy: Vec::new(),
             boundary_stall: Duration::ZERO,
             boundary_stalls: 0,
+            wal_bytes_written: 0,
+            fsync_count: 0,
+            checkpoint_count: 0,
+            recovery_replay_len: 0,
             messages: 0,
         };
         assert_eq!(r.latency_percentile(0.0), Duration::from_micros(1));
@@ -435,6 +466,23 @@ mod tests {
         assert_eq!(r.boundary_stall, Duration::from_micros(500));
         assert_eq!(r.boundary_stalls, 2);
         assert_eq!(Metrics::new().report().max_occupancy(), 0);
+    }
+
+    #[test]
+    fn durability_stats_flow_into_report() {
+        let m = Metrics::new();
+        assert_eq!(m.report().fsync_count, 0);
+        m.set_durability_stats(DurabilityStats {
+            wal_bytes_written: 100,
+            fsync_count: 7,
+            checkpoint_count: 2,
+            recovery_replay_len: 42,
+        });
+        let r = m.report();
+        assert_eq!(r.wal_bytes_written, 100);
+        assert_eq!(r.fsync_count, 7);
+        assert_eq!(r.checkpoint_count, 2);
+        assert_eq!(r.recovery_replay_len, 42);
     }
 
     #[test]

@@ -45,6 +45,12 @@ pub(crate) struct Orderer {
     prev_hash: Hash32,
     next_number: BlockNumber,
     dests: Vec<NodeId>,
+    /// Orderers own the chain (§III-A): under on-disk durability every
+    /// emitted block is sealed here *before* the NEWBLOCK multicast, and
+    /// a restarted orderer recovers its chain position — and the
+    /// exactly-once dedup set, from the persisted blocks — instead of
+    /// renumbering from 1.
+    store: Option<parblock_store::Store>,
 }
 
 impl Orderer {
@@ -63,6 +69,20 @@ impl Orderer {
             ),
         };
         let dests = shared.spec.peer_ids();
+        let mut seen = HashSet::new();
+        let mut prev_hash = Ledger::genesis_hash();
+        let mut next_number = BlockNumber(1);
+        let store = match crate::durability::open_orderer_store(&shared.spec, endpoint.id()) {
+            None => None,
+            Some((store, recovered)) => {
+                for (block, _) in &recovered.chain {
+                    seen.extend(block.transactions().iter().map(Transaction::id));
+                }
+                prev_hash = recovered.head;
+                next_number = BlockNumber(recovered.watermark.0 + 1);
+                Some(store)
+            }
+        };
         Orderer {
             shared,
             endpoint,
@@ -72,10 +92,11 @@ impl Orderer {
             batch: Vec::new(),
             last_flush: Instant::now(),
             marker_sent: None,
-            seen: HashSet::new(),
-            prev_hash: Ledger::genesis_hash(),
-            next_number: BlockNumber(1),
+            seen,
+            prev_hash,
+            next_number,
             dests,
+            store,
         }
     }
 
@@ -179,6 +200,13 @@ impl Orderer {
         let CutBlock { txs, graph } = cut;
         let block = Block::new(self.next_number, self.prev_hash, txs);
         let hash = hash_wire(&block);
+        // Persist before announcing: a NEWBLOCK must never reference a
+        // block this orderer could forget in a crash (DESIGN.md §9).
+        if let Some(store) = &mut self.store {
+            store
+                .seal_block(&block, graph.as_ref(), hash)
+                .expect("orderer block persist failed");
+        }
         let bundle = Arc::new(BlockBundle { block, graph, hash });
         let signer = self.shared.spec.node_signer(self.endpoint.id());
         let sig = self.shared.keys.sign(signer, &hash.0);

@@ -39,7 +39,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::never;
 use parblock_crypto::Signature;
 use parblock_depgraph::{CrossBlockIndex, ReadyTracker};
-use parblock_ledger::{Ledger, MvccState, Version};
+use parblock_ledger::{Durability, Ledger, MvccState, Version};
 use parblock_net::Endpoint;
 use parblock_types::{BlockNumber, Hash32, NodeId, SeqNo, TxId};
 
@@ -87,6 +87,12 @@ pub(crate) struct Executor {
     /// position-correct snapshots.
     state: MvccState,
     ledger: Ledger,
+    /// Where committed effects and sealed blocks persist (DESIGN.md §9):
+    /// a no-op in memory, the `parblock_store` WAL + block store +
+    /// checkpoints on disk. Effects are logged before the COMMIT message
+    /// carrying them is multicast, and a block is sealed durably before
+    /// it is acknowledged (persist-before-COMMIT).
+    durability: Box<dyn Durability>,
     /// NEWBLOCK admission (verification + quorum counting).
     admission: NewBlockQuorum,
     /// Blocks that reached quorum, waiting their turn.
@@ -114,13 +120,24 @@ pub(crate) struct Executor {
 
 impl Executor {
     pub(crate) fn new(shared: Arc<Shared>, endpoint: Endpoint<Msg>) -> Self {
-        let state = MvccState::with_genesis(shared.genesis.iter().cloned());
+        let mut state = MvccState::with_genesis(shared.genesis.iter().cloned());
         let is_observer = endpoint.id() == shared.spec.observer();
         let commit_dests = shared.spec.peer_ids();
         let pool = ExecPool::new(shared.spec.exec_pool);
         let admission = NewBlockQuorum::new(shared.spec.newblock_quorum());
         let depth = shared.spec.exec_pipeline_depth.max(1);
-        let ledger = Ledger::new();
+        // Crash recovery: an on-disk store rebuilds the sealed chain,
+        // the state at the commit watermark, and hence where execution
+        // resumes; an in-memory node starts from genesis.
+        let node = crate::durability::for_peer(&shared.spec, endpoint.id());
+        let durability = node.durability;
+        let mut ledger = Ledger::new();
+        if let Some(recovered) = node.recovered {
+            ledger = recovered
+                .ledger()
+                .expect("recovered chain verified at store open");
+            recovered.overlay_state(&mut state);
+        }
         let next_to_start = ledger.next_number().0;
         Executor {
             shared,
@@ -128,6 +145,7 @@ impl Executor {
             pool,
             state,
             ledger,
+            durability,
             admission,
             ready: BTreeMap::new(),
             held_commits: BTreeMap::new(),
@@ -172,6 +190,11 @@ impl Executor {
                 Event::Done(completion) => self.on_completion(completion),
                 Event::Idle => {}
             }
+        }
+        if self.is_observer {
+            self.shared
+                .metrics
+                .set_durability_stats(self.durability.stats());
         }
         self.pool.shutdown();
     }
@@ -380,9 +403,14 @@ impl Executor {
         };
         // Apply own writes immediately as a versioned put (deterministic
         // across agents), so successors read them (Xe semantics of
-        // Algorithm 1).
+        // Algorithm 1). Effects hit the WAL (group-commit buffered)
+        // before the COMMIT multicast below; they become durable at the
+        // latest at the block's seal fsync — a crash before that loses
+        // only unsealed results, which recovery re-executes
+        // deterministically (DESIGN.md §9).
         if let ExecResult::Committed(writes) = &completion.result {
             let version = Version::new(completion.block, seq);
+            self.durability.log_effects(version, writes);
             self.state.apply(writes.iter().cloned(), version);
         }
         if let Some(run) = self.runs.get_mut(&number) {
@@ -562,9 +590,12 @@ impl Executor {
         match &result {
             ExecResult::Committed(writes) => {
                 // Agents applied their own writes at execution time; a
-                // re-applied identical version is idempotent.
+                // re-applied identical version is idempotent. Remote
+                // results are logged on first apply — they too are part
+                // of the recoverable datastore.
                 if !executed_locally {
                     let version = Version::new(block_number, seq);
+                    self.durability.log_effects(version, writes);
                     self.state.apply(writes.iter().cloned(), version);
                 }
                 if self.is_observer {
@@ -600,11 +631,19 @@ impl Executor {
             self.ledger
                 .append(run.bundle.block.clone())
                 .expect("blocks arrive in order with verified hash links");
-            // Garbage-collect below the watermark: every future reader is
-            // positioned in a later block, so only the newest version at
-            // or below the end of this block stays reachable per key.
-            self.state
-                .prune(Version::new(BlockNumber(next), SeqNo(u32::MAX)));
+            // Durable seal before the block is acknowledged anywhere
+            // (metrics, observers): fsync barrier over the block body
+            // and every logged effect at or below it. The seal hook
+            // also owns GC — it prunes state versions below the new
+            // watermark and, on disk, checkpoints the pruned state and
+            // truncates the WAL on the configured cadence — so version
+            // GC and log truncation advance together.
+            self.durability.seal_block(
+                &run.bundle.block,
+                run.bundle.graph.as_ref(),
+                self.ledger.head_hash(),
+                &mut self.state,
+            );
             if self.is_observer {
                 self.shared.metrics.record_block();
                 self.shared.metrics.set_ledger_head(self.ledger.head_hash());

@@ -139,7 +139,32 @@ pub fn run(spec: &ClusterSpec, load: &LoadSpec) -> RunReport {
 /// invalid anyway because XOV aborts conflicting transactions.
 #[must_use]
 pub fn run_fixed(spec: &ClusterSpec, count: usize, rate_tps: f64, timeout: Duration) -> RunReport {
-    run_fixed_impl(spec, count, rate_tps, timeout, None)
+    run_fixed_impl(spec, 0, count, rate_tps, timeout, None)
+}
+
+/// Like [`run_fixed`], but resumes a recovered cluster: transactions
+/// `[0, skip)` of the deterministic workload stream are generated and
+/// *discarded* (they are already in the chain the nodes recovered from
+/// disk), transactions `[skip, count)` are submitted, and the runner
+/// waits until `count - skip` of them are processed at the observer.
+///
+/// `skip` must equal `watermark × block_size` of the reconciled stores
+/// (see `parblock_store::reconcile_cluster`), and the spec must use
+/// count-only block cuts so block boundaries are deterministic — the
+/// same requirement the fault suite's byte-equality assertions rely on.
+///
+/// # Panics
+///
+/// Panics for [`SystemKind::Xov`], like [`run_fixed`].
+#[must_use]
+pub fn run_fixed_from(
+    spec: &ClusterSpec,
+    skip: usize,
+    count: usize,
+    rate_tps: f64,
+    timeout: Duration,
+) -> RunReport {
+    run_fixed_impl(spec, skip, count, rate_tps, timeout, None)
 }
 
 /// Like [`run_fixed`], but hands the network's live [`Faults`] plan to
@@ -158,11 +183,12 @@ pub fn run_fixed_with_faults(
     timeout: Duration,
     fault_script: impl FnOnce(Faults) + Send + 'static,
 ) -> RunReport {
-    run_fixed_impl(spec, count, rate_tps, timeout, Some(Box::new(fault_script)))
+    run_fixed_impl(spec, 0, count, rate_tps, timeout, Some(Box::new(fault_script)))
 }
 
 fn run_fixed_impl(
     spec: &ClusterSpec,
+    skip: usize,
     count: usize,
     rate_tps: f64,
     timeout: Duration,
@@ -218,10 +244,11 @@ fn run_fixed_impl(
     });
 
     let client_endpoint = net.endpoint(spec.client_node());
-    driver::run_driver_count(&shared, &client_endpoint, rate_tps, count);
+    driver::run_driver_count_from(&shared, &client_endpoint, rate_tps, skip, count);
 
+    let expected = count.saturating_sub(skip) as u64;
     let deadline = std::time::Instant::now() + timeout;
-    while shared.metrics.processed() < count as u64 && std::time::Instant::now() < deadline {
+    while shared.metrics.processed() < expected && std::time::Instant::now() < deadline {
         std::thread::sleep(Duration::from_millis(5));
     }
     shared.stop.store(true, Ordering::Relaxed);

@@ -23,6 +23,17 @@ pub(crate) struct Shared {
 
 impl Shared {
     pub(crate) fn new(spec: ClusterSpec) -> Arc<Self> {
+        // Fresh on-disk mode (the env-driven default): each run starts
+        // from an empty store, so unrelated runs sharing one spec never
+        // recover each other's state. Wiped once here — node threads
+        // open their stores strictly after Shared exists.
+        if let crate::cluster::DurabilityMode::OnDisk {
+            data_dir,
+            fresh: true,
+        } = &spec.durability
+        {
+            let _ = std::fs::remove_dir_all(data_dir);
+        }
         let genesis = WorkloadGen::new(spec.workload_config()).genesis();
         Arc::new(Shared {
             registry: spec.registry(),

@@ -154,6 +154,72 @@ impl DependencyGraph {
         self.edges().any(|(i, j)| self.app_of(i) != self.app_of(j))
     }
 
+    /// Appends a canonical byte encoding of the graph (apps, edges, mode)
+    /// to `out`, so durable block stores can persist `G(B)` next to its
+    /// block. Round-trips through [`DependencyGraph::decode_wire`].
+    pub fn encode_wire(&self, out: &mut Vec<u8>) {
+        use parblock_types::wire::Wire;
+        let mode_tag: u8 = match self.mode {
+            DependencyMode::Full => 0,
+            DependencyMode::Reduced => 1,
+            DependencyMode::MultiVersion => 2,
+        };
+        mode_tag.encode(out);
+        (self.apps.len() as u64).encode(out);
+        for app in &self.apps {
+            u64::from(app.0).encode(out);
+        }
+        (self.edge_count as u64).encode(out);
+        for (i, j) in self.edges() {
+            i.0.encode(out);
+            j.0.encode(out);
+        }
+    }
+
+    /// Convenience: [`DependencyGraph::encode_wire`] into a fresh buffer.
+    #[must_use]
+    pub fn wire_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_wire(&mut out);
+        out
+    }
+
+    /// Decodes a graph from a [`Reader`](parblock_types::wire::Reader)
+    /// positioned at an [`DependencyGraph::encode_wire`] boundary.
+    /// Returns `None` on malformed input (unknown mode, out-of-range or
+    /// backward edges, truncation).
+    #[must_use]
+    pub fn decode_wire(reader: &mut parblock_types::wire::Reader<'_>) -> Option<Self> {
+        let mode = match reader.u8()? {
+            0 => DependencyMode::Full,
+            1 => DependencyMode::Reduced,
+            2 => DependencyMode::MultiVersion,
+            _ => return None,
+        };
+        let n = usize::try_from(reader.u64()?).ok()?;
+        if n > reader.remaining() / 8 {
+            return None;
+        }
+        let mut apps = Vec::with_capacity(n);
+        for _ in 0..n {
+            apps.push(AppId(u16::try_from(reader.u64()?).ok()?));
+        }
+        let edge_count = usize::try_from(reader.u64()?).ok()?;
+        if edge_count > reader.remaining() / 8 {
+            return None;
+        }
+        let mut edges = Vec::with_capacity(edge_count);
+        for _ in 0..edge_count {
+            let i = SeqNo(reader.u32()?);
+            let j = SeqNo(reader.u32()?);
+            if i >= j || j.0 as usize >= n {
+                return None; // from_edges would panic; reject instead
+            }
+            edges.push((i, j));
+        }
+        Some(DependencyGraph::from_edges(apps, &edges, mode))
+    }
+
     /// Renders the graph in Graphviz DOT format (vertices labelled with
     /// position and application), for debugging and documentation.
     #[must_use]
@@ -243,6 +309,38 @@ mod tests {
         assert!(dot.contains("t0 ->"));
         assert!(dot.contains("digraph"));
         assert!(dot.contains("A1"));
+    }
+
+    #[test]
+    fn wire_round_trip_preserves_adjacency_and_mode() {
+        for g in [
+            diamond(),
+            DependencyGraph::from_edges(vec![], &[], DependencyMode::Reduced),
+            DependencyGraph::from_edges(vec![AppId(3)], &[], DependencyMode::MultiVersion),
+        ] {
+            let bytes = g.wire_bytes();
+            let mut reader = parblock_types::wire::Reader::new(&bytes);
+            let decoded = DependencyGraph::decode_wire(&mut reader).expect("decodes");
+            assert!(reader.is_exhausted());
+            assert_eq!(decoded, g);
+        }
+    }
+
+    #[test]
+    fn wire_decode_rejects_malformed_input() {
+        let bytes = diamond().wire_bytes();
+        for cut in 0..bytes.len() {
+            let mut reader = parblock_types::wire::Reader::new(&bytes[..cut]);
+            assert!(
+                DependencyGraph::decode_wire(&mut reader).is_none(),
+                "cut {cut}"
+            );
+        }
+        // Unknown mode tag.
+        let mut bad = bytes.clone();
+        bad[0] = 9;
+        let mut reader = parblock_types::wire::Reader::new(&bad);
+        assert!(DependencyGraph::decode_wire(&mut reader).is_none());
     }
 
     #[test]

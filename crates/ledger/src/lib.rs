@@ -10,6 +10,9 @@
 //!   the version stamps power XOV's read-set validation.
 //! * [`MvccState`] — multi-version store keeping the version history of
 //!   each key.
+//! * [`Durability`] — the persistence seam executor nodes seal blocks
+//!   and log committed effects through ([`InMemory`] here; the durable
+//!   implementation lives in `parblock_store`).
 //!
 //! # Examples
 //!
@@ -28,9 +31,11 @@
 #![warn(missing_docs)]
 
 mod chain;
+mod durability;
 mod kv;
 mod mvcc;
 
 pub use chain::{ChainError, Ledger};
+pub use durability::{prune_to_sealed, Durability, DurabilityStats, InMemory};
 pub use kv::{KvState, Version};
 pub use mvcc::MvccState;

@@ -1,0 +1,214 @@
+//! State checkpoints: periodic snapshots of the blockchain state at the
+//! commit watermark.
+//!
+//! A checkpoint is one checksummed frame in its own file
+//! `ckpt-<watermark>.ck`, published atomically: written to a `.tmp`
+//! name, fsynced, renamed into place, directory fsynced. Once a
+//! checkpoint at watermark `W` exists, WAL segments whose records all
+//! pertain to blocks `≤ W` can be deleted — recovery starts from the
+//! newest intact checkpoint and replays only the WAL suffix above it.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use parblock_ledger::Version;
+use parblock_types::wire::{Reader, Wire};
+use parblock_types::{BlockNumber, Hash32, Key, SeqNo, Value};
+
+use crate::frame;
+use crate::wal::sync_dir;
+
+/// How many published checkpoints are retained (the newest may be
+/// mid-publish when a crash hits; its predecessor still recovers).
+const KEEP: usize = 2;
+
+/// A decoded checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// The commit watermark the snapshot was taken at.
+    pub watermark: BlockNumber,
+    /// Ledger head hash at the watermark.
+    pub head: Hash32,
+    /// Latest value and version per key, at or below the watermark.
+    pub entries: Vec<(Key, Value, Version)>,
+}
+
+impl Checkpoint {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.watermark.0.encode(&mut out);
+        out.extend_from_slice(&self.head.0);
+        (self.entries.len() as u64).encode(&mut out);
+        for (key, value, version) in &self.entries {
+            key.0.encode(&mut out);
+            value.encode(&mut out);
+            version.block.0.encode(&mut out);
+            version.seq.0.encode(&mut out);
+        }
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut reader = Reader::new(bytes);
+        let watermark = BlockNumber(reader.u64()?);
+        let mut head = [0u8; 32];
+        for byte in &mut head {
+            *byte = reader.u8()?;
+        }
+        let count = usize::try_from(reader.u64()?).ok()?;
+        if count > reader.remaining() / 21 {
+            return None; // each entry is ≥ 21 bytes
+        }
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let key = Key(reader.u64()?);
+            let value = Value::decode(&mut reader)?;
+            let version = Version::new(BlockNumber(reader.u64()?), SeqNo(reader.u32()?));
+            entries.push((key, value, version));
+        }
+        reader.is_exhausted().then_some(Checkpoint {
+            watermark,
+            head: Hash32(head),
+            entries,
+        })
+    }
+}
+
+fn checkpoint_path(dir: &Path, watermark: u64) -> PathBuf {
+    dir.join(format!("ckpt-{watermark:016}.ck"))
+}
+
+fn checkpoint_watermark(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    let digits = name.strip_prefix("ckpt-")?.strip_suffix(".ck")?;
+    digits.parse().ok()
+}
+
+/// Atomically publishes `checkpoint` under `dir`, pruning all but the
+/// newest [`KEEP`] checkpoint files. Returns the number of fsync
+/// barriers issued.
+pub(crate) fn publish(dir: &Path, checkpoint: &Checkpoint) -> io::Result<u64> {
+    fs::create_dir_all(dir)?;
+    let payload = checkpoint.encode();
+    let mut framed = Vec::with_capacity(frame::HEADER_LEN + payload.len());
+    frame::append_frame(&mut framed, &payload);
+    let final_path = checkpoint_path(dir, checkpoint.watermark.0);
+    let tmp_path = final_path.with_extension("tmp");
+    let mut fsyncs = 0u64;
+    {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&tmp_path)?;
+        file.write_all(&framed)?;
+        file.sync_all()?;
+        fsyncs += 1;
+    }
+    fs::rename(&tmp_path, &final_path)?;
+    sync_dir(dir)?;
+    fsyncs += 1;
+    // Retention: delete all but the newest KEEP published checkpoints.
+    let mut published = list(dir)?;
+    if published.len() > KEEP {
+        let cut = published.len() - KEEP;
+        for (_, path) in published.drain(..cut) {
+            fs::remove_file(path)?;
+        }
+        sync_dir(dir)?;
+        fsyncs += 1;
+    }
+    Ok(fsyncs)
+}
+
+/// Published checkpoint files under `dir`, sorted ascending by
+/// watermark.
+fn list(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    if !dir.exists() {
+        return Ok(Vec::new());
+    }
+    let mut found: Vec<(u64, PathBuf)> = fs::read_dir(dir)?
+        .filter_map(|entry| {
+            let path = entry.ok()?.path();
+            checkpoint_watermark(&path).map(|w| (w, path))
+        })
+        .collect();
+    found.sort_unstable_by_key(|(w, _)| *w);
+    Ok(found)
+}
+
+/// Loads the newest intact checkpoint under `dir`, skipping (and
+/// deleting) any that fail their checksum — a crash can tear at most
+/// the newest, so its predecessor is authoritative.
+pub(crate) fn load_latest(dir: &Path) -> io::Result<Option<Checkpoint>> {
+    let mut published = list(dir)?;
+    while let Some((_, path)) = published.pop() {
+        let mut bytes = Vec::new();
+        File::open(&path)?.read_to_end(&mut bytes)?;
+        if let frame::FrameRead::Ok { payload, next } = frame::read_frame(&bytes, 0) {
+            if next == bytes.len() {
+                if let Some(checkpoint) = Checkpoint::decode(payload) {
+                    return Ok(Some(checkpoint));
+                }
+            }
+        }
+        // Corrupt or torn: remove so it cannot shadow an older intact one.
+        fs::remove_file(&path)?;
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::TempDir;
+
+    fn sample(watermark: u64) -> Checkpoint {
+        Checkpoint {
+            watermark: BlockNumber(watermark),
+            head: Hash32([watermark as u8; 32]),
+            entries: vec![
+                (Key(1), Value::Int(10), Version::new(BlockNumber(1), SeqNo(0))),
+                (
+                    Key(2),
+                    Value::Text("x".into()),
+                    Version::new(BlockNumber(watermark), SeqNo(3)),
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn publish_load_round_trip() {
+        let tmp = TempDir::new("ckpt-roundtrip");
+        assert_eq!(load_latest(tmp.path()).expect("load"), None);
+        publish(tmp.path(), &sample(4)).expect("publish");
+        assert_eq!(load_latest(tmp.path()).expect("load"), Some(sample(4)));
+    }
+
+    #[test]
+    fn newest_wins_and_retention_prunes() {
+        let tmp = TempDir::new("ckpt-retention");
+        for w in [2, 4, 6, 8] {
+            publish(tmp.path(), &sample(w)).expect("publish");
+        }
+        assert_eq!(
+            load_latest(tmp.path()).expect("load").map(|c| c.watermark),
+            Some(BlockNumber(8))
+        );
+        assert_eq!(list(tmp.path()).expect("list").len(), KEEP);
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_predecessor() {
+        let tmp = TempDir::new("ckpt-corrupt");
+        publish(tmp.path(), &sample(2)).expect("publish");
+        publish(tmp.path(), &sample(4)).expect("publish");
+        let newest = checkpoint_path(tmp.path(), 4);
+        let bytes = fs::read(&newest).expect("read");
+        fs::write(&newest, &bytes[..bytes.len() - 2]).expect("tear");
+        assert_eq!(load_latest(tmp.path()).expect("load"), Some(sample(2)));
+        assert!(!newest.exists(), "torn checkpoint deleted");
+    }
+}

@@ -1,0 +1,173 @@
+//! Length+checksum framing for append-only log files.
+//!
+//! Every record is written as `[len: u32 LE][crc32(payload): u32 LE]
+//! [payload: len bytes]`. A reader walking a file knows, at every frame
+//! boundary, whether the next frame is complete and intact; the first
+//! incomplete or corrupt frame marks the *torn tail* — everything before
+//! it is durable, everything from it on is discarded (a crash can tear
+//! at most the unsynced suffix of an append-only file).
+
+/// Frame header size: length prefix + checksum.
+pub(crate) const HEADER_LEN: usize = 8;
+
+/// Frames larger than this are treated as corruption rather than data
+/// (a torn length prefix can decode to an absurd length).
+pub(crate) const MAX_FRAME_LEN: usize = 1 << 30;
+
+/// CRC-32 (IEEE 802.3, reflected) over `bytes`.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc = !0u32;
+    for &byte in bytes {
+        let idx = (crc ^ u32::from(byte)) & 0xff;
+        crc = (crc >> 8) ^ TABLE[idx as usize];
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xedb8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Appends one frame around `payload` to `out`. Returns the number of
+/// bytes appended (header + payload).
+pub(crate) fn append_frame(out: &mut Vec<u8>, payload: &[u8]) -> usize {
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    HEADER_LEN + payload.len()
+}
+
+/// The outcome of reading one frame at `pos`.
+pub(crate) enum FrameRead<'a> {
+    /// An intact frame: its payload and the offset of the next frame.
+    Ok { payload: &'a [u8], next: usize },
+    /// `pos` is exactly the end of the buffer: a clean end.
+    End,
+    /// The bytes from `pos` on are not an intact frame (truncated header,
+    /// truncated payload, or checksum mismatch): the torn tail.
+    Torn,
+}
+
+/// Reads the frame starting at `pos` in `bytes`.
+pub(crate) fn read_frame(bytes: &[u8], pos: usize) -> FrameRead<'_> {
+    if pos == bytes.len() {
+        return FrameRead::End;
+    }
+    let Some(header) = bytes.get(pos..pos + HEADER_LEN) else {
+        return FrameRead::Torn;
+    };
+    let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as usize;
+    let crc = u32::from_le_bytes(header[4..].try_into().expect("4 bytes"));
+    if len > MAX_FRAME_LEN {
+        return FrameRead::Torn;
+    }
+    let start = pos + HEADER_LEN;
+    let Some(payload) = bytes.get(start..start + len) else {
+        return FrameRead::Torn;
+    };
+    if crc32(payload) != crc {
+        return FrameRead::Torn;
+    }
+    FrameRead::Ok {
+        payload,
+        next: start + len,
+    }
+}
+
+/// Walks every intact frame from the start of `bytes`. Returns the frame
+/// payload offsets `(start, end)` and the byte offset of the torn tail
+/// (equal to `bytes.len()` for a clean file).
+pub(crate) fn scan(bytes: &[u8]) -> (Vec<(usize, usize)>, usize) {
+    let mut frames = Vec::new();
+    let mut pos = 0;
+    loop {
+        match read_frame(bytes, pos) {
+            FrameRead::Ok { payload, next } => {
+                frames.push((next - payload.len(), next));
+                pos = next;
+            }
+            FrameRead::End => return (frames, pos),
+            FrameRead::Torn => return (frames, pos),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        let n1 = append_frame(&mut buf, b"alpha");
+        let n2 = append_frame(&mut buf, b"");
+        assert_eq!(buf.len(), n1 + n2);
+        let (frames, torn) = scan(&buf);
+        assert_eq!(torn, buf.len());
+        assert_eq!(frames.len(), 2);
+        assert_eq!(&buf[frames[0].0..frames[0].1], b"alpha");
+        assert_eq!(frames[1].0, frames[1].1);
+    }
+
+    #[test]
+    fn every_truncation_of_the_last_frame_is_detected() {
+        let mut buf = Vec::new();
+        append_frame(&mut buf, b"first");
+        let keep = buf.len();
+        append_frame(&mut buf, b"second record");
+        for cut in keep..buf.len() {
+            let (frames, torn) = scan(&buf[..cut]);
+            assert_eq!(frames.len(), 1, "cut {cut}");
+            assert_eq!(torn, keep, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_payload_byte_is_detected() {
+        let mut buf = Vec::new();
+        append_frame(&mut buf, b"first");
+        let keep = buf.len();
+        append_frame(&mut buf, b"second");
+        *buf.last_mut().expect("non-empty") ^= 0x01;
+        let (frames, torn) = scan(&buf);
+        assert_eq!(frames.len(), 1);
+        assert_eq!(torn, keep);
+    }
+
+    #[test]
+    fn absurd_length_prefix_is_torn_not_alloc() {
+        let mut buf = Vec::new();
+        append_frame(&mut buf, b"ok");
+        let keep = buf.len();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&[0; 4]);
+        let (frames, torn) = scan(&buf);
+        assert_eq!(frames.len(), 1);
+        assert_eq!(torn, keep);
+    }
+}

@@ -1,0 +1,44 @@
+//! Test support: a self-deleting temporary directory.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A unique directory under the system temp dir, removed on drop.
+/// Exposed (hidden) so the crate's integration tests and downstream
+/// crash-recovery tests can share it.
+#[doc(hidden)]
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates `TMPDIR/parblock-<prefix>-<pid>-<n>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory cannot be created.
+    #[must_use]
+    pub fn new(prefix: &str) -> Self {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "parblock-{prefix}-{}-{n}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDir { path }
+    }
+
+    /// The directory path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}

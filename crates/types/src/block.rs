@@ -149,6 +149,37 @@ impl Block {
         }
         seen
     }
+
+    /// Decodes a block from a [`Reader`](crate::wire::Reader) positioned
+    /// at a `Block::encode` boundary. Returns `None` on malformed input.
+    /// Durable block stores round-trip sealed blocks through this.
+    #[must_use]
+    pub fn decode(reader: &mut crate::wire::Reader<'_>) -> Option<Self> {
+        let number = BlockNumber(reader.u64()?);
+        let mut prev_hash = [0u8; 32];
+        for byte in &mut prev_hash {
+            *byte = reader.u8()?;
+        }
+        let count = usize::try_from(reader.u64()?).ok()?;
+        // Each transaction occupies ≥ 4 bytes; cheap bound against
+        // hostile length prefixes.
+        if count > reader.remaining() / 4 {
+            return None;
+        }
+        let mut txs = Vec::with_capacity(count);
+        for _ in 0..count {
+            txs.push(Transaction::decode(reader)?);
+        }
+        Some(Block::new(number, Hash32(prev_hash), txs))
+    }
+
+    /// Decodes a block from exactly these bytes.
+    #[must_use]
+    pub fn from_wire(bytes: &[u8]) -> Option<Self> {
+        let mut reader = crate::wire::Reader::new(bytes);
+        let block = Self::decode(&mut reader)?;
+        reader.is_exhausted().then_some(block)
+    }
 }
 
 impl Wire for Block {
@@ -197,6 +228,25 @@ mod tests {
         assert_eq!(h.to_hex().len(), 64);
         assert!(format!("{h:?}").contains("abababab"));
         assert_eq!(Hash32::ZERO.to_hex(), "0".repeat(64));
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let b = sample();
+        assert_eq!(Block::from_wire(&b.wire_bytes()), Some(b));
+        let empty = Block::new(BlockNumber(1), Hash32([7; 32]), vec![]);
+        assert_eq!(Block::from_wire(&empty.wire_bytes()), Some(empty));
+    }
+
+    #[test]
+    fn from_wire_rejects_truncation_and_trailing_garbage() {
+        let bytes = sample().wire_bytes();
+        for cut in [0, 1, 8, bytes.len() / 2, bytes.len() - 1] {
+            assert_eq!(Block::from_wire(&bytes[..cut]), None, "cut {cut}");
+        }
+        let mut extended = bytes;
+        extended.push(0);
+        assert_eq!(Block::from_wire(&extended), None);
     }
 
     #[test]

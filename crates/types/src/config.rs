@@ -133,6 +133,56 @@ impl Default for ExecutionCosts {
     }
 }
 
+/// Tuning knobs for the durable store (`parblock_store`): how often the
+/// write-ahead log is fsynced and how often the blockchain state is
+/// checkpointed.
+///
+/// Lives in the types crate so the ledger's `Durability` trait, the
+/// store, and the cluster spec can share it without a dependency cycle.
+///
+/// # Examples
+///
+/// ```
+/// use parblock_types::DurabilityConfig;
+///
+/// let cfg = DurabilityConfig::default();
+/// assert!(cfg.flush_interval >= 1);
+/// assert!(cfg.checkpoint_interval >= 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurabilityConfig {
+    /// Group commit: the WAL is fsynced once at least this many records
+    /// have been appended since the last sync (and always on block seal,
+    /// regardless of the count). `1` is fsync-per-record.
+    pub flush_interval: usize,
+    /// A state checkpoint is written every this many sealed blocks; WAL
+    /// segments entirely below the checkpoint watermark are deleted.
+    pub checkpoint_interval: u64,
+}
+
+impl Default for DurabilityConfig {
+    /// Sync every 64 records (or at block seal), checkpoint every 8
+    /// blocks.
+    fn default() -> Self {
+        DurabilityConfig {
+            flush_interval: 64,
+            checkpoint_interval: 8,
+        }
+    }
+}
+
+impl DurabilityConfig {
+    /// Clamps both intervals to at least 1 (a zero interval would stall
+    /// the group-commit / checkpoint cadence forever).
+    #[must_use]
+    pub fn sanitized(self) -> Self {
+        DurabilityConfig {
+            flush_interval: self.flush_interval.max(1),
+            checkpoint_interval: self.checkpoint_interval.max(1),
+        }
+    }
+}
+
 /// Top-level knobs shared by all three systems (OX, XOV, OXII).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct SystemConfig {
@@ -166,6 +216,19 @@ mod tests {
         assert_eq!(policy.required(AppId(0)), 1);
         assert_eq!(policy.required(AppId(1)), 1);
         assert_eq!(CommitPolicy::default().required(AppId(9)), 1);
+    }
+
+    #[test]
+    fn durability_config_sanitizes_zero_intervals() {
+        let cfg = DurabilityConfig {
+            flush_interval: 0,
+            checkpoint_interval: 0,
+        }
+        .sanitized();
+        assert_eq!(cfg.flush_interval, 1);
+        assert_eq!(cfg.checkpoint_interval, 1);
+        let default = DurabilityConfig::default();
+        assert_eq!(default.sanitized(), default);
     }
 
     #[test]

@@ -28,7 +28,7 @@ mod value;
 pub mod wire;
 
 pub use block::{Block, BlockHeader, Hash32};
-pub use config::{BlockCutConfig, CommitPolicy, ExecutionCosts, SystemConfig};
+pub use config::{BlockCutConfig, CommitPolicy, DurabilityConfig, ExecutionCosts, SystemConfig};
 pub use error::TypeError;
 pub use ids::{AppId, BlockNumber, ClientId, NodeId, Role, SeqNo, TxId};
 pub use rwset::{Key, RwSet};

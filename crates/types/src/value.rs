@@ -4,6 +4,8 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use crate::wire::{self, Wire};
+
 /// A value stored under a [`Key`](crate::Key) in the blockchain state.
 ///
 /// The accounting application of §V stores integer balances; other
@@ -63,6 +65,46 @@ impl Value {
     #[must_use]
     pub fn is_unit(&self) -> bool {
         matches!(self, Value::Unit)
+    }
+
+    /// Decodes a value from a [`Reader`](wire::Reader) positioned at a
+    /// `Value::encode` boundary. Returns `None` on malformed input
+    /// (unknown tag, truncation, invalid UTF-8).
+    #[must_use]
+    pub fn decode(reader: &mut wire::Reader<'_>) -> Option<Self> {
+        match reader.u8()? {
+            0 => Some(Value::Unit),
+            1 => Some(Value::Int(reader.i64()?)),
+            2 => {
+                let bytes = reader.bytes()?;
+                Some(Value::Text(String::from_utf8(bytes.to_vec()).ok()?))
+            }
+            3 => Some(Value::Bytes(reader.bytes()?.to_vec())),
+            _ => None,
+        }
+    }
+}
+
+impl Wire for Value {
+    /// Tagged encoding: `0` unit, `1` int, `2` text, `3` bytes. Durable
+    /// stores (WAL records, state checkpoints) rely on this round-tripping
+    /// through [`Value::decode`].
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Value::Unit => 0u8.encode(out),
+            Value::Int(i) => {
+                1u8.encode(out);
+                i.encode(out);
+            }
+            Value::Text(s) => {
+                2u8.encode(out);
+                s.as_str().encode(out);
+            }
+            Value::Bytes(b) => {
+                3u8.encode(out);
+                b.encode(out);
+            }
+        }
     }
 }
 
@@ -135,5 +177,39 @@ mod tests {
     fn conversions() {
         assert_eq!(Value::from(7i64), Value::Int(7));
         assert_eq!(Value::from(String::from("s")), Value::Text("s".into()));
+    }
+
+    #[test]
+    fn wire_round_trip_all_variants() {
+        for v in [
+            Value::Unit,
+            Value::Int(i64::MIN),
+            Value::Int(-1),
+            Value::Text(String::new()),
+            Value::Text("héllo".into()),
+            Value::Bytes(vec![]),
+            Value::Bytes(vec![0xff; 100]),
+        ] {
+            let bytes = v.wire_bytes();
+            let mut reader = crate::wire::Reader::new(&bytes);
+            assert_eq!(Value::decode(&mut reader), Some(v.clone()), "{v:?}");
+            assert!(reader.is_exhausted(), "{v:?} left trailing bytes");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_unknown_tag_and_truncation() {
+        let mut reader = crate::wire::Reader::new(&[9]);
+        assert_eq!(Value::decode(&mut reader), None);
+        let bytes = Value::Int(7).wire_bytes();
+        for cut in 0..bytes.len() {
+            let mut reader = crate::wire::Reader::new(&bytes[..cut]);
+            assert_eq!(Value::decode(&mut reader), None, "cut {cut}");
+        }
+        // Invalid UTF-8 under the text tag.
+        let mut bad = vec![2u8];
+        vec![0xffu8, 0xfe].encode(&mut bad);
+        let mut reader = crate::wire::Reader::new(&bad);
+        assert_eq!(Value::decode(&mut reader), None);
     }
 }
