@@ -1,0 +1,38 @@
+//! Throughput of the deterministic simulator itself: virtual-time
+//! cluster runs per second, with and without fault schedules. This is
+//! the budget that decides how many seeds an `explore-seeds` CI sweep
+//! can afford.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use parblock_sim::{plan_for_seed, ExploreConfig};
+use parblockchain::run_sim;
+
+fn bench_simexplore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simexplore");
+    group.sample_size(10);
+    for (name, faults) in [("fault_free", false), ("crash_partition", true)] {
+        let config = ExploreConfig {
+            faults,
+            ..ExploreConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("seed_run", name),
+            &config,
+            |b, config| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    // Walk the seed space so the bench measures the
+                    // sweep's mixed shapes, not one cached schedule.
+                    seed = (seed + 1) % 64;
+                    let plan = plan_for_seed(seed, config);
+                    run_sim(&plan.config)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simexplore);
+criterion_main!(benches);

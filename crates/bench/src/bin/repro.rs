@@ -14,6 +14,11 @@
 //! repro ablation-durability  # in-memory vs on-disk (WAL+fsync) execution
 //! repro recover              # kill a durable cluster, recover from disk, verify digests
 //! repro recover --data-dir D # same, persisting under D instead of a tempdir
+//! repro explore --seeds 200  # deterministic simulation: sweep 200 seeds with
+//!                            # crash+partition fault schedules, check all four
+//!                            # oracles (+ pinned regression seeds)
+//! repro explore --seed 17    # replay one seed twice, assert bit-reproducibility
+//! repro explore --no-faults  # pure schedule exploration, faults disabled
 //! repro all                  # everything
 //! repro all --full           # everything, longer measurement points
 //! ```
@@ -22,8 +27,9 @@
 
 use parblock_bench::{
     ablation_commit_batching, ablation_durability, ablation_mv_graph, ablation_pipeline,
-    ablation_streaming, default_data_dir, fig5_block_size, fig6_contention, fig7_geo,
-    recover_demo, ExperimentScale, Table,
+    ablation_streaming, default_data_dir, default_seed_file, explore_one, explore_sweep,
+    fig5_block_size, fig6_contention, fig7_geo, load_seed_file, recover_demo, ExperimentScale,
+    Table,
 };
 use parblockchain::MovedGroup;
 
@@ -111,6 +117,39 @@ fn main() {
         "ablation-streaming" => emit("ablation_streaming", &ablation_streaming(scale)),
         "ablation-pipeline" => emit("ablation_pipeline", &ablation_pipeline(scale)),
         "ablation-durability" => emit("ablation_durability", &ablation_durability(scale)),
+        "explore" => {
+            let mut config = parblock_sim::ExploreConfig {
+                faults: !args.iter().any(|a| a == "--no-faults"),
+                ..parblock_sim::ExploreConfig::default()
+            };
+            if let Some(count) = arg_value("--count").and_then(|v| v.parse().ok()) {
+                config.count = count;
+            }
+            let seed_file = arg_value("--seed-file")
+                .map_or_else(default_seed_file, std::path::PathBuf::from);
+            let (table, passed) = match arg_value("--seed").and_then(|v| v.parse().ok()) {
+                Some(seed) => explore_one(seed, &config),
+                None => {
+                    let seeds = arg_value("--seeds")
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(200);
+                    let pinned = load_seed_file(&seed_file);
+                    if !pinned.is_empty() {
+                        println!(
+                            "(replaying {} pinned regression seed(s) from {})",
+                            pinned.len(),
+                            seed_file.display()
+                        );
+                    }
+                    explore_sweep(seeds, &pinned, &config)
+                }
+            };
+            emit("explore", &table);
+            if !passed {
+                eprintln!("explore: oracle violations found (see above)");
+                std::process::exit(1);
+            }
+        }
         "recover" => {
             let data_dir = arg_value("--data-dir")
                 .map_or_else(default_data_dir, std::path::PathBuf::from);
@@ -130,7 +169,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown command: {other}");
-            eprintln!("usage: repro [fig5|fig6|fig7|ablation-commit|ablation-mv|ablation-streaming|ablation-pipeline|ablation-durability|recover|all] [--contention N] [--move GROUP] [--data-dir DIR] [--full]");
+            eprintln!("usage: repro [fig5|fig6|fig7|ablation-commit|ablation-mv|ablation-streaming|ablation-pipeline|ablation-durability|recover|explore|all] [--contention N] [--move GROUP] [--data-dir DIR] [--full] [--seeds N] [--seed K] [--seed-file PATH] [--count N] [--no-faults]");
             std::process::exit(2);
         }
     }

@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod explore_cmd;
 pub mod recover;
 pub mod table;
 
@@ -19,5 +20,6 @@ pub use experiments::{
     ablation_streaming, fig5_block_size, fig6_contention, fig7_geo, measure_point, peak_search,
     ExperimentScale, Point,
 };
+pub use explore_cmd::{default_seed_file, explore_one, explore_sweep, load_seed_file};
 pub use recover::{default_data_dir, recover_demo};
 pub use table::Table;

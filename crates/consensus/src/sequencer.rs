@@ -55,6 +55,15 @@ pub enum SeqMsg {
         /// The proposed epoch.
         epoch: u64,
     },
+    /// Catch-up request: the sender is missing every offset from `from`
+    /// up to the first one it has stored. Sent when a replica detects a
+    /// delivery gap — after a partition heals, or after a restart — and
+    /// answered by replaying retained committed offsets as ordinary
+    /// `Append` + `Commit` pairs (no separate snapshot path).
+    Fetch {
+        /// First missing offset.
+        from: u64,
+    },
 }
 
 #[derive(Debug, Default)]
@@ -86,6 +95,18 @@ pub struct QuorumSequencer {
     pending: VecDeque<Vec<u8>>,
     timeout: Duration,
     timer_armed: bool,
+    /// Delivered payloads retained to answer [`SeqMsg::Fetch`] catch-up
+    /// requests from partitioned or restarted replicas. Unbounded by
+    /// design for the single-host simulation; a production deployment
+    /// would truncate below a cluster-wide durable watermark.
+    retained: BTreeMap<u64, Vec<u8>>,
+    /// `(gap head, highest offset announced when requested)` of the
+    /// outstanding Fetch. Suppresses a replay-per-message burst during
+    /// catch-up, but re-arms when a *higher* offset is announced — so a
+    /// Fetch (or its replay) lost to a second fault window is retried
+    /// as soon as the leader makes any further progress, instead of
+    /// stalling the follower forever. Cleared when delivery progresses.
+    fetch_requested: Option<(u64, u64)>,
 }
 
 impl QuorumSequencer {
@@ -107,6 +128,8 @@ impl QuorumSequencer {
             pending: VecDeque::new(),
             timeout,
             timer_armed: false,
+            retained: BTreeMap::new(),
+            fetch_requested: None,
         }
     }
 
@@ -188,14 +211,77 @@ impl QuorumSequencer {
             }
             let offset = self.next_deliver;
             let entry = self.log.remove(&offset).expect("present");
+            let payload = entry.payload.expect("checked");
+            self.retained.insert(offset, payload.clone());
             actions.push(Action::Deliver {
                 seq: offset,
-                payload: entry.payload.expect("checked"),
+                payload,
             });
             self.next_deliver += 1;
             self.next_offset = self.next_offset.max(self.next_deliver);
         }
+        // Progress re-arms gap fetching: the previous request either
+        // worked (and a further gap, if any, starts at a new head) or is
+        // now about a different offset entirely.
+        if self
+            .fetch_requested
+            .is_some_and(|(head, _)| self.next_deliver > head)
+        {
+            self.fetch_requested = None;
+        }
         self.disarm_if_idle(actions);
+    }
+
+    /// Detects a delivery gap — `from` announced (or committed) an offset
+    /// beyond `next_deliver` while the head offset cannot deliver — and
+    /// asks the announcer for the missing range.
+    ///
+    /// A present-but-uncommitted head counts as a gap only in *commit
+    /// context* (`committed_context`, the `Commit` handler): Commit
+    /// messages for one epoch are broadcast in offset order, so under
+    /// FIFO links receiving `Commit(j)` while `Commit(next_deliver < j)`
+    /// has not arrived means the head's commit was dropped — it is never
+    /// resent, and without a Fetch the replica would stall forever. In
+    /// append context the head's commit is simply still in flight.
+    ///
+    /// At most one Fetch is outstanding per gap head
+    /// (`fetch_requested`, re-armed when delivery progresses), so a
+    /// catch-up does not trigger a replay per received message. Fetch
+    /// replays are idempotent: the log absorbs duplicates.
+    fn fetch_gap_if_any(
+        &mut self,
+        from: NodeId,
+        announced: u64,
+        committed_context: bool,
+        actions: &mut Vec<Action<SeqMsg>>,
+    ) {
+        if announced <= self.next_deliver {
+            return;
+        }
+        // Already requested for this gap head, and nothing new has been
+        // announced since — the replay is (presumably) in flight. A
+        // higher announcement re-arms the request, covering a Fetch or
+        // replay lost to a later fault window.
+        if matches!(
+            self.fetch_requested,
+            Some((head, upto)) if head == self.next_deliver && announced <= upto
+        ) {
+            return;
+        }
+        let head_blocked = match self.log.get(&self.next_deliver) {
+            None => true,
+            Some(e) if e.payload.is_none() => true,
+            Some(e) => committed_context && !e.committed,
+        };
+        if head_blocked {
+            self.fetch_requested = Some((self.next_deliver, announced));
+            actions.push(Action::Send {
+                to: from,
+                msg: SeqMsg::Fetch {
+                    from: self.next_deliver,
+                },
+            });
+        }
     }
 
     fn adopt_epoch(&mut self, epoch: u64, actions: &mut Vec<Action<SeqMsg>>) {
@@ -310,6 +396,7 @@ impl OrderingProtocol for QuorumSequencer {
                 if already_committed {
                     self.try_deliver(&mut actions);
                 }
+                self.fetch_gap_if_any(from, offset, false, &mut actions);
             }
             SeqMsg::Ack { epoch, offset } => {
                 if epoch != self.epoch || !self.i_lead() {
@@ -328,9 +415,37 @@ impl OrderingProtocol for QuorumSequencer {
                 let entry = self.log.entry(offset).or_default();
                 entry.committed = true;
                 self.try_deliver(&mut actions);
+                self.fetch_gap_if_any(from, offset, true, &mut actions);
             }
             SeqMsg::NewEpoch { epoch } => {
                 self.adopt_epoch(epoch, &mut actions);
+            }
+            SeqMsg::Fetch { from: first } => {
+                if self.i_lead() {
+                    // Replay the retained committed range as ordinary
+                    // Append + Commit pairs — the requester's normal
+                    // admission path absorbs them (and deduplicates any
+                    // offsets it meanwhile obtained elsewhere).
+                    let epoch = self.epoch;
+                    for (&offset, payload) in self.retained.range(first..) {
+                        actions.push(Action::Send {
+                            to: from,
+                            msg: SeqMsg::Append {
+                                epoch,
+                                offset,
+                                payload: payload.clone(),
+                            },
+                        });
+                        actions.push(Action::Send {
+                            to: from,
+                            msg: SeqMsg::Commit { epoch, offset },
+                        });
+                    }
+                }
+                // Non-leaders ignore Fetch: gaps are only ever detected
+                // on messages from the leader, so requests are already
+                // addressed there; replays from anyone else would fail
+                // the receiver's leadership check anyway.
             }
         }
         actions
@@ -464,6 +579,115 @@ mod tests {
         for r in 0..3 {
             assert_eq!(c.delivered(r).len(), 1, "replica {r}");
         }
+    }
+
+    #[test]
+    fn partitioned_follower_fetches_the_gap_after_heal() {
+        let mut c = cluster(3);
+        c.submit(0, b"a".to_vec());
+        c.run_to_quiescence();
+        // Replica 2 drops off the network; the majority keeps ordering.
+        c.crash(2);
+        c.submit(0, b"b".to_vec());
+        c.submit(0, b"c".to_vec());
+        c.run_to_quiescence();
+        assert_eq!(c.delivered(2).len(), 1, "partitioned: stuck at offset 0");
+        // Heal. The next ordered payload announces offset 3; replica 2
+        // detects the gap [1, 3), fetches, and replays to full length.
+        c.reconnect(2);
+        c.submit(0, b"d".to_vec());
+        c.run_to_quiescence();
+        assert_eq!(
+            c.delivered(2),
+            vec![
+                (0, b"a".to_vec()),
+                (1, b"b".to_vec()),
+                (2, b"c".to_vec()),
+                (3, b"d".to_vec()),
+            ],
+            "healed follower must catch up to the full log"
+        );
+        assert!(c.all_agree());
+    }
+
+    #[test]
+    fn lost_commit_for_a_stored_offset_triggers_fetch_exactly_once() {
+        let peers: Vec<NodeId> = (0..3).map(NodeId).collect();
+        let mut follower = QuorumSequencer::new(
+            ProtocolConfig::new(NodeId(2), peers),
+            Duration::from_millis(100),
+        );
+        let append = |offset: u64, payload: &[u8]| SeqMsg::Append {
+            epoch: 0,
+            offset,
+            payload: payload.to_vec(),
+        };
+        // Both Appends arrive; Commit(0) is lost to a partition window.
+        let _ = follower.on_message(NodeId(0), append(0, b"a"));
+        let _ = follower.on_message(NodeId(0), append(1, b"b"));
+        // Commit(1) arriving while offset 0 is stored-but-uncommitted is
+        // proof (FIFO links, in-order commit broadcast) that Commit(0)
+        // was dropped and will never be resent: fetch.
+        let actions = follower.on_message(NodeId(0), SeqMsg::Commit { epoch: 0, offset: 1 });
+        let is_fetch0 = |a: &Action<SeqMsg>| {
+            matches!(a, Action::Send { to: NodeId(0), msg: SeqMsg::Fetch { from: 0 } })
+        };
+        assert_eq!(actions.iter().filter(|a| is_fetch0(a)).count(), 1);
+        // Further observations of the *same* gap evidence do not
+        // re-fetch — the replay is in flight.
+        let again = follower.on_message(NodeId(0), SeqMsg::Commit { epoch: 0, offset: 1 });
+        assert!(!again.iter().any(is_fetch0), "duplicate Fetch for one gap head");
+        // But a higher announcement re-arms the request: if the first
+        // Fetch (or its replay) was itself lost to a fault window, the
+        // leader's continued progress retries it.
+        let rearmed = follower.on_message(NodeId(0), SeqMsg::Commit { epoch: 0, offset: 2 });
+        assert_eq!(
+            rearmed.iter().filter(|a| is_fetch0(a)).count(),
+            1,
+            "a higher offset must re-arm the gap fetch"
+        );
+        // The leader's replay (Append + Commit for offset 0) unblocks
+        // delivery of both offsets.
+        let _ = follower.on_message(NodeId(0), append(0, b"a"));
+        let actions = follower.on_message(NodeId(0), SeqMsg::Commit { epoch: 0, offset: 0 });
+        let delivered: Vec<u64> = actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Deliver { seq, .. } => Some(*seq),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(delivered, vec![0, 1]);
+    }
+
+    #[test]
+    fn fetch_replays_only_from_the_requested_offset() {
+        let peers: Vec<NodeId> = (0..3).map(NodeId).collect();
+        let mut leader = QuorumSequencer::new(
+            ProtocolConfig::new(NodeId(0), peers),
+            Duration::from_millis(100),
+        );
+        // Order two payloads (self-ack + one follower ack each).
+        for payload in [b"x".to_vec(), b"y".to_vec()] {
+            let _ = leader.submit(payload);
+        }
+        for offset in 0..2 {
+            let _ = leader.on_message(NodeId(1), SeqMsg::Ack { epoch: 0, offset });
+        }
+        let replay = leader.on_message(NodeId(2), SeqMsg::Fetch { from: 1 });
+        // Offset 0 is not replayed; offset 1 arrives as Append + Commit.
+        assert!(replay.iter().all(|a| !matches!(
+            a,
+            Action::Send { msg: SeqMsg::Append { offset: 0, .. }, .. }
+        )));
+        assert!(replay.iter().any(|a| matches!(
+            a,
+            Action::Send { to: NodeId(2), msg: SeqMsg::Append { offset: 1, .. } }
+        )));
+        assert!(replay.iter().any(|a| matches!(
+            a,
+            Action::Send { to: NodeId(2), msg: SeqMsg::Commit { offset: 1, .. } }
+        )));
     }
 
     #[test]

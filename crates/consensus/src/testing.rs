@@ -100,6 +100,13 @@ where
         self.crashed.insert(node);
     }
 
+    /// Reconnects a crashed replica (its protocol state is whatever it
+    /// was at crash time — the harness models a partition/heal rather
+    /// than a memory-wiping restart).
+    pub fn reconnect(&mut self, node: usize) {
+        self.crashed.remove(&node);
+    }
+
     /// Submits a payload at replica `node`.
     pub fn submit(&mut self, node: usize, payload: Vec<u8>) {
         if self.crashed.contains(&node) {

@@ -115,9 +115,13 @@ impl BlockCutter {
 
     /// Feeds one ordered transaction; returns a full block
     /// when a deterministic condition (count or bytes) is met.
-    pub fn push(&mut self, tx: Transaction) -> Option<CutBlock> {
+    ///
+    /// `now` is the caller's clock reading (wall or simulated); it only
+    /// marks when the oldest pending transaction arrived, which drives
+    /// [`BlockCutter::wants_time_cut`].
+    pub fn push(&mut self, tx: Transaction, now: Instant) -> Option<CutBlock> {
         if self.pending.is_empty() {
-            self.first_arrival = Some(Instant::now());
+            self.first_arrival = Some(now);
         }
         if let Some(GraphEngine::Streaming(builder)) = &mut self.graph {
             builder.observe(&tx);
@@ -143,12 +147,22 @@ impl BlockCutter {
         }
     }
 
-    /// Whether the *leader* should order a cut marker: the oldest pending
-    /// transaction has waited longer than `max_wait`.
+    /// Whether the *leader* should order a cut marker as of `now`: the
+    /// oldest pending transaction has waited longer than `max_wait`.
     #[must_use]
-    pub fn wants_time_cut(&self) -> bool {
-        self.first_arrival
-            .is_some_and(|t| t.elapsed() >= self.cfg.max_wait && !self.pending.is_empty())
+    pub fn wants_time_cut(&self, now: Instant) -> bool {
+        self.first_arrival.is_some_and(|t| {
+            now.saturating_duration_since(t) >= self.cfg.max_wait && !self.pending.is_empty()
+        })
+    }
+
+    /// The instant at which [`BlockCutter::wants_time_cut`] will turn
+    /// true (`None` when nothing is pending). The deterministic scheduler
+    /// advances virtual time to this deadline when the cluster is
+    /// otherwise idle, so partial blocks are still cut under simulation.
+    #[must_use]
+    pub fn time_cut_deadline(&self) -> Option<Instant> {
+        self.first_arrival.map(|t| t + self.cfg.max_wait)
     }
 
     fn cut(&mut self) -> CutBlock {
@@ -170,7 +184,7 @@ impl BlockCutter {
 
 #[cfg(test)]
 mod tests {
-    use std::time::Duration;
+    use std::time::{Duration, Instant};
 
     use parblock_types::{AppId, ClientId, Key, RwSet, SeqNo};
 
@@ -207,9 +221,9 @@ mod tests {
     #[test]
     fn cuts_on_transaction_count() {
         let mut cutter = BlockCutter::new(cfg(3, usize::MAX, 1000));
-        assert!(cutter.push(tx(1, 0)).is_none());
-        assert!(cutter.push(tx(2, 0)).is_none());
-        let block = cutter.push(tx(3, 0)).expect("cut at 3");
+        assert!(cutter.push(tx(1, 0), Instant::now()).is_none());
+        assert!(cutter.push(tx(2, 0), Instant::now()).is_none());
+        let block = cutter.push(tx(3, 0), Instant::now()).expect("cut at 3");
         assert_eq!(block.txs.len(), 3);
         assert!(block.graph.is_none(), "no graph without a mode");
         assert_eq!(cutter.pending_len(), 0);
@@ -218,16 +232,16 @@ mod tests {
     #[test]
     fn cuts_on_byte_size() {
         let mut cutter = BlockCutter::new(cfg(usize::MAX, 300, 1000));
-        assert!(cutter.push(tx(1, 100)).is_none());
-        let block = cutter.push(tx(2, 200)).expect("bytes exceeded");
+        assert!(cutter.push(tx(1, 100), Instant::now()).is_none());
+        let block = cutter.push(tx(2, 200), Instant::now()).expect("bytes exceeded");
         assert_eq!(block.txs.len(), 2);
     }
 
     #[test]
     fn cut_marker_flushes_pending() {
         let mut cutter = BlockCutter::new(cfg(100, usize::MAX, 1000));
-        cutter.push(tx(1, 0));
-        cutter.push(tx(2, 0));
+        cutter.push(tx(1, 0), Instant::now());
+        cutter.push(tx(2, 0), Instant::now());
         let first = cutter.first_pending().expect("pending");
         let block = cutter.cut_marker(first).expect("pending flushed");
         assert_eq!(block.txs.len(), 2);
@@ -244,12 +258,12 @@ mod tests {
         // untagged marker would have cut a premature one-transaction
         // block here.
         let mut cutter = BlockCutter::new(cfg(2, usize::MAX, 1000));
-        cutter.push(tx(1, 0));
+        cutter.push(tx(1, 0), Instant::now());
         let marker_tag = cutter.first_pending().expect("T1 pending");
-        let cut = cutter.push(tx(2, 0)).expect("count cut at 2");
+        let cut = cutter.push(tx(2, 0), Instant::now()).expect("count cut at 2");
         assert_eq!(cut.txs.len(), 2);
 
-        cutter.push(tx(3, 0));
+        cutter.push(tx(3, 0), Instant::now());
         assert!(
             cutter.cut_marker(marker_tag).is_none(),
             "stale marker must not cut the fresh block"
@@ -265,14 +279,22 @@ mod tests {
     #[test]
     fn time_cut_requested_after_max_wait() {
         let mut cutter = BlockCutter::new(cfg(100, usize::MAX, 5));
-        assert!(!cutter.wants_time_cut());
-        cutter.push(tx(1, 0));
-        assert!(!cutter.wants_time_cut());
-        std::thread::sleep(Duration::from_millis(7));
-        assert!(cutter.wants_time_cut());
+        let t0 = Instant::now();
+        assert!(!cutter.wants_time_cut(t0));
+        assert_eq!(cutter.time_cut_deadline(), None);
+        cutter.push(tx(1, 0), t0);
+        assert!(!cutter.wants_time_cut(t0));
+        assert_eq!(
+            cutter.time_cut_deadline(),
+            Some(t0 + Duration::from_millis(5))
+        );
+        // No sleeping: the clock is injected, so "later" is a value.
+        let later = t0 + Duration::from_millis(7);
+        assert!(cutter.wants_time_cut(later));
         let first = cutter.first_pending().expect("pending");
         let _ = cutter.cut_marker(first);
-        assert!(!cutter.wants_time_cut());
+        assert!(!cutter.wants_time_cut(later));
+        assert_eq!(cutter.time_cut_deadline(), None);
     }
 
     #[test]
@@ -280,13 +302,13 @@ mod tests {
         let mut cutter = BlockCutter::new(cfg(2, usize::MAX, 1000));
         // First block: arrival order 2, 1 (client timestamps do not
         // reorder the stream).
-        assert!(cutter.push(tx(2, 0)).is_none());
-        let b1 = cutter.push(tx(1, 0)).expect("first block");
+        assert!(cutter.push(tx(2, 0), Instant::now()).is_none());
+        let b1 = cutter.push(tx(1, 0), Instant::now()).expect("first block");
         assert_eq!(b1.txs[0].id().client_ts, 2);
         assert_eq!(b1.txs[1].id().client_ts, 1);
         // Second block: arrival order 4, 3.
-        assert!(cutter.push(tx(4, 0)).is_none());
-        let b2 = cutter.push(tx(3, 0)).expect("second block");
+        assert!(cutter.push(tx(4, 0), Instant::now()).is_none());
+        let b2 = cutter.push(tx(3, 0), Instant::now()).expect("second block");
         assert_eq!(b2.txs[0].id().client_ts, 4);
         assert_eq!(b2.txs[1].id().client_ts, 3);
     }
@@ -299,16 +321,16 @@ mod tests {
             GraphConstruction::Streaming,
         );
         // Block 1: two writers of key 7 — one edge.
-        assert!(cutter.push(writer(1, 7)).is_none());
-        let b1 = cutter.push(writer(2, 7)).expect("first block");
+        assert!(cutter.push(writer(1, 7), Instant::now()).is_none());
+        let b1 = cutter.push(writer(2, 7), Instant::now()).expect("first block");
         let g1 = b1.graph.expect("graph attached");
         assert_eq!(g1.len(), 2);
         assert!(g1.has_edge(SeqNo(0), SeqNo(1)));
 
         // Block 2 touches the same key: the streaming index must have
         // been reset, so there is no edge to block 1's writers.
-        assert!(cutter.push(writer(3, 7)).is_none());
-        let b2 = cutter.push(writer(4, 9)).expect("second block");
+        assert!(cutter.push(writer(3, 7), Instant::now()).is_none());
+        let b2 = cutter.push(writer(4, 9), Instant::now()).expect("second block");
         let g2 = b2.graph.expect("graph attached");
         assert_eq!(g2.len(), 2);
         assert_eq!(g2.edge_count(), 0, "index leaked across blocks");
@@ -326,7 +348,7 @@ mod tests {
             );
             let mut cut = None;
             for tx in feed.iter().cloned() {
-                cut = cut.or(cutter.push(tx));
+                cut = cut.or(cutter.push(tx, Instant::now()));
             }
             graphs.push(cut.expect("cut at 4").graph.expect("graph"));
         }
@@ -340,8 +362,8 @@ mod tests {
             DependencyMode::Reduced,
             GraphConstruction::Streaming,
         );
-        cutter.push(writer(1, 5));
-        cutter.push(writer(2, 5));
+        cutter.push(writer(1, 5), Instant::now());
+        cutter.push(writer(2, 5), Instant::now());
         let first = cutter.first_pending().expect("pending");
         let block = cutter.cut_marker(first).expect("marker cuts");
         let graph = block.graph.expect("graph attached");

@@ -2,7 +2,7 @@
 //! over PBFT and the quorum sequencer, plus deadline tracking for their
 //! timers.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 use parblock_consensus::{
@@ -100,11 +100,18 @@ impl OrderingProtocol for AnyConsensus {
     }
 }
 
-/// Wall-clock deadlines for protocol timers ([`Action::SetTimer`] /
+/// Deadlines for protocol timers ([`Action::SetTimer`] /
 /// [`Action::CancelTimer`]).
+///
+/// The caller supplies *now* explicitly (from the cluster [`Clock`]), so
+/// the table works identically under the wall clock and under the
+/// deterministic simulator; a `BTreeMap` keeps expiry order a pure
+/// function of the timer ids rather than of hash-map iteration order.
+///
+/// [`Clock`]: parblock_types::Clock
 #[derive(Debug, Default)]
 pub struct TimerTable {
-    deadlines: HashMap<TimerId, Instant>,
+    deadlines: BTreeMap<TimerId, Instant>,
 }
 
 impl TimerTable {
@@ -115,9 +122,9 @@ impl TimerTable {
     }
 
     /// Applies the timer-related actions in `actions` (send/deliver
-    /// actions are left for the caller).
-    pub fn absorb<M>(&mut self, actions: &[Action<M>]) {
-        let now = Instant::now();
+    /// actions are left for the caller), with deadlines measured from
+    /// `now`.
+    pub fn absorb<M>(&mut self, actions: &[Action<M>], now: Instant) {
         for action in actions {
             match action {
                 Action::SetTimer { id, after } => {
@@ -137,9 +144,9 @@ impl TimerTable {
         self.deadlines.values().min().copied()
     }
 
-    /// Removes and returns the timers that have expired.
-    pub fn take_expired(&mut self) -> Vec<TimerId> {
-        let now = Instant::now();
+    /// Removes and returns the timers expired as of `now`, in timer-id
+    /// order.
+    pub fn take_expired(&mut self, now: Instant) -> Vec<TimerId> {
         let expired: Vec<TimerId> = self
             .deadlines
             .iter()
@@ -197,6 +204,7 @@ mod tests {
     #[test]
     fn timer_table_tracks_deadlines() {
         let mut table = TimerTable::new();
+        let now = Instant::now();
         let actions: Vec<Action<ConsMsg>> = vec![
             Action::SetTimer {
                 id: TimerId(1),
@@ -207,13 +215,33 @@ mod tests {
                 after: Duration::from_secs(60),
             },
         ];
-        table.absorb(&actions);
+        table.absorb(&actions, now);
         assert!(table.next_deadline().is_some());
-        let expired = table.take_expired();
+        let expired = table.take_expired(now);
         assert_eq!(expired, vec![TimerId(1)]);
         let cancel: Vec<Action<ConsMsg>> = vec![Action::CancelTimer { id: TimerId(2) }];
-        table.absorb(&cancel);
+        table.absorb(&cancel, now);
         assert!(table.next_deadline().is_none());
+    }
+
+    #[test]
+    fn timer_table_expiry_is_deterministic_and_time_driven() {
+        let mut table = TimerTable::new();
+        let now = Instant::now();
+        let actions: Vec<Action<ConsMsg>> = (0..4)
+            .map(|i| Action::SetTimer {
+                id: TimerId(3 - i),
+                after: Duration::from_millis(5),
+            })
+            .collect();
+        table.absorb(&actions, now);
+        assert!(table.take_expired(now).is_empty(), "nothing due yet");
+        let expired = table.take_expired(now + Duration::from_millis(5));
+        assert_eq!(
+            expired,
+            vec![TimerId(0), TimerId(1), TimerId(2), TimerId(3)],
+            "expiry order is id order, not insertion or hash order"
+        );
     }
 
     #[test]

@@ -50,6 +50,7 @@ mod pool;
 mod quorum;
 pub mod runner;
 mod shared;
+pub mod sim;
 pub mod xov;
 
 pub use cluster::{
@@ -58,3 +59,7 @@ pub use cluster::{
 };
 pub use metrics::{Metrics, RunReport};
 pub use runner::{run, run_fixed, run_fixed_from, run_fixed_with_faults, LoadSpec};
+pub use sim::{
+    run_sim, FaultEvent, FaultKind, FaultPlan, OrdererOutcome, ReplicaOutcome, SimConfig,
+    SimOutcome,
+};

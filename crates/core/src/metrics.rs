@@ -14,7 +14,7 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 
 use parblock_ledger::DurabilityStats;
-use parblock_types::TxId;
+use parblock_types::{Clock, TxId};
 
 /// Shared metrics sink. Cloning shares the underlying state.
 #[derive(Debug, Clone, Default)]
@@ -24,6 +24,11 @@ pub struct Metrics {
 
 #[derive(Debug, Default)]
 struct Inner {
+    /// The time source submit/commit stamps are taken from — the wall
+    /// clock by default, the simulated clock under the deterministic
+    /// scheduler so latency samples and the measurement window are a
+    /// pure function of the schedule.
+    clock: Clock,
     submits: Mutex<HashMap<TxId, Instant>>,
     /// Ids already counted as committed or aborted; re-observations
     /// (quorum re-delivery, duplicate COMMIT processing) must not
@@ -51,15 +56,29 @@ struct Inner {
 }
 
 impl Metrics {
-    /// Creates an empty sink.
+    /// Creates an empty sink stamping against the wall clock.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Creates an empty sink stamping against `clock`. Under a simulated
+    /// clock every duration in the resulting [`RunReport`] — latency
+    /// samples, the measurement window, boundary stalls — is
+    /// bit-deterministic for a given schedule.
+    #[must_use]
+    pub fn with_clock(clock: Clock) -> Self {
+        Metrics {
+            inner: Arc::new(Inner {
+                clock,
+                ..Inner::default()
+            }),
+        }
+    }
+
     /// Records a client submission (driver side).
     pub fn record_submit(&self, tx: TxId) {
-        let now = Instant::now();
+        let now = self.inner.clock.now();
         self.inner.submits.lock().insert(tx, now);
         let mut first = self.inner.first_submit.lock();
         if first.is_none() {
@@ -78,7 +97,7 @@ impl Metrics {
         if !self.inner.resolved_ids.lock().insert(tx) {
             return;
         }
-        let now = Instant::now();
+        let now = self.inner.clock.now();
         self.inner.committed.fetch_add(1, Ordering::Relaxed);
         if let Some(submitted) = self.inner.submits.lock().remove(&tx) {
             let micros = now.duration_since(submitted).as_micros() as u64;
@@ -268,6 +287,43 @@ pub struct RunReport {
 }
 
 impl RunReport {
+    /// A digest over every field of the report, for bit-reproducibility
+    /// checks: two deterministic-simulation runs of the same seed must
+    /// produce byte-identical reports, and comparing 32 bytes is how the
+    /// explorer (and CI) asserts that without diffing structures.
+    #[must_use]
+    pub fn digest(&self) -> parblock_types::Hash32 {
+        use parblock_types::wire::Wire;
+        let mut bytes = Vec::new();
+        self.committed.encode(&mut bytes);
+        self.aborted.encode(&mut bytes);
+        self.outstanding.encode(&mut bytes);
+        self.blocks.encode(&mut bytes);
+        (self.window.as_nanos() as u64).encode(&mut bytes);
+        (self.latencies_us.len() as u64).encode(&mut bytes);
+        for &l in &self.latencies_us {
+            l.encode(&mut bytes);
+        }
+        for digest in [self.state_digest, self.ledger_head] {
+            match digest {
+                Some(h) => bytes.extend_from_slice(&h.0),
+                None => bytes.push(0),
+            }
+        }
+        (self.pipeline_occupancy.len() as u64).encode(&mut bytes);
+        for &o in &self.pipeline_occupancy {
+            o.encode(&mut bytes);
+        }
+        (self.boundary_stall.as_nanos() as u64).encode(&mut bytes);
+        self.boundary_stalls.encode(&mut bytes);
+        self.wal_bytes_written.encode(&mut bytes);
+        self.fsync_count.encode(&mut bytes);
+        self.checkpoint_count.encode(&mut bytes);
+        self.recovery_replay_len.encode(&mut bytes);
+        self.messages.encode(&mut bytes);
+        parblock_crypto::sha256(&bytes)
+    }
+
     /// Committed transactions per second over the measurement window.
     #[must_use]
     pub fn throughput_tps(&self) -> f64 {
@@ -497,5 +553,35 @@ mod tests {
     #[should_panic(expected = "percentile must be in [0, 1]")]
     fn invalid_percentile_panics() {
         let _ = Metrics::new().report().latency_percentile(1.5);
+    }
+
+    #[test]
+    fn simulated_clock_makes_latencies_exact() {
+        let clock = Clock::simulated();
+        let m = Metrics::with_clock(clock.clone());
+        m.record_submit(tx(1));
+        clock.advance(Duration::from_micros(1234));
+        m.record_commit(tx(1));
+        let r = m.report();
+        assert_eq!(r.latencies_us, vec![1234], "no wall-clock drift");
+        assert_eq!(r.window, Duration::from_micros(1234));
+    }
+
+    #[test]
+    fn report_digest_reflects_content() {
+        let clock = Clock::simulated();
+        let run = || {
+            let m = Metrics::with_clock(clock.clone());
+            m.record_submit(tx(1));
+            m.record_commit(tx(1));
+            m.record_block();
+            m.report()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.digest(), b.digest(), "identical runs share a digest");
+        let m = Metrics::with_clock(clock.clone());
+        m.record_submit(tx(1));
+        m.record_abort(tx(1));
+        assert_ne!(a.digest(), m.report().digest());
     }
 }

@@ -83,6 +83,7 @@ impl Orderer {
                 Some(store)
             }
         };
+        let now = shared.clock.now();
         Orderer {
             shared,
             endpoint,
@@ -90,7 +91,7 @@ impl Orderer {
             cutter,
             timers: TimerTable::new(),
             batch: Vec::new(),
-            last_flush: Instant::now(),
+            last_flush: now,
             marker_sent: None,
             seen,
             prev_hash,
@@ -105,7 +106,7 @@ impl Orderer {
             let wait = self
                 .timers
                 .next_deadline()
-                .map(|d| d.saturating_duration_since(Instant::now()))
+                .map(|d| d.saturating_duration_since(self.shared.clock.now()))
                 .unwrap_or(IDLE_TICK)
                 .min(IDLE_TICK);
             if let Ok(envelope) = self.endpoint.recv_timeout(wait) {
@@ -115,13 +116,69 @@ impl Orderer {
                     self.on_msg(envelope.from, envelope.msg);
                 }
             }
-            for timer in self.timers.take_expired() {
-                let actions = self.protocol.on_timer(timer);
-                self.apply(actions);
-            }
-            self.flush_batch_if_due();
-            self.order_time_cut_if_due();
+            self.tick();
         }
+    }
+
+    /// One housekeeping pass against the cluster clock: expired protocol
+    /// timers, batch flushing, and the leader's time-cut marker. The
+    /// threaded loop calls this after every receive; the deterministic
+    /// scheduler calls it at every virtual-time step.
+    pub(crate) fn tick(&mut self) {
+        let now = self.shared.clock.now();
+        for timer in self.timers.take_expired(now) {
+            let actions = self.protocol.on_timer(timer);
+            self.apply(actions);
+        }
+        self.flush_batch_if_due(now);
+        self.order_time_cut_if_due(now);
+    }
+
+    /// Drains the mailbox without blocking, then ticks. The deterministic
+    /// scheduler's step function. Returns how many messages were handled.
+    pub(crate) fn step(&mut self) -> usize {
+        let mut handled = 0;
+        while let Some(envelope) = self.endpoint.try_recv() {
+            self.on_msg(envelope.from, envelope.msg);
+            handled += 1;
+        }
+        self.tick();
+        handled
+    }
+
+    /// The orderer's chain position: next block number to emit and the
+    /// hash of the last emitted block. The simulation's orderer-
+    /// convergence oracle compares these across replicas.
+    pub(crate) fn chain_position(&self) -> (BlockNumber, Hash32) {
+        (self.next_number, self.prev_hash)
+    }
+
+    /// The earliest instant this orderer has *time-driven* work: a
+    /// consensus timer, a due batch flush, or (as leader) the cutter's
+    /// time-cut deadline / marker resend. The deterministic scheduler
+    /// advances virtual time straight to this instant when no message
+    /// traffic is due, so wall-clock cut behaviour fires exactly on its
+    /// deadline instead of being polled.
+    pub(crate) fn next_due(&self) -> Option<Instant> {
+        let mut due = self.timers.next_deadline();
+        let mut merge = |candidate: Option<Instant>| {
+            due = match (due, candidate) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+        };
+        if !self.batch.is_empty() {
+            merge(Some(self.last_flush + BATCH_INTERVAL));
+        }
+        if self.protocol.is_leader() {
+            merge(self.cutter.time_cut_deadline());
+            if self.cutter.first_pending().is_some() {
+                if let Some(sent) = self.marker_sent {
+                    merge(Some(sent + self.shared.spec.block_cut.max_wait));
+                }
+            }
+        }
+        due
     }
 
     fn on_msg(&mut self, from: NodeId, msg: Msg) {
@@ -154,7 +211,7 @@ impl Orderer {
     }
 
     fn apply(&mut self, actions: Vec<Action<ConsMsg>>) {
-        self.timers.absorb(&actions);
+        self.timers.absorb(&actions, self.shared.clock.now());
         for action in actions {
             match action {
                 Action::Send { to, msg } => self.endpoint.send(to, Msg::Cons(msg)),
@@ -177,7 +234,8 @@ impl Orderer {
                     if !self.seen.insert(tx.id()) {
                         continue;
                     }
-                    if let Some(full) = self.cutter.push(tx) {
+                    let now = self.shared.clock.now();
+                    if let Some(full) = self.cutter.push(tx, now) {
                         self.emit_block(full);
                     }
                 }
@@ -220,18 +278,18 @@ impl Orderer {
         self.next_number = self.next_number.next();
     }
 
-    fn flush_batch_if_due(&mut self) {
+    fn flush_batch_if_due(&mut self, now: Instant) {
         if self.batch.is_empty() {
             return;
         }
         let due = self.batch.len() >= self.shared.spec.batch_max
-            || self.last_flush.elapsed() >= BATCH_INTERVAL;
+            || now.saturating_duration_since(self.last_flush) >= BATCH_INTERVAL;
         if due {
             let txs = std::mem::take(&mut self.batch);
             let payload = Payload::Batch(txs).encode();
             let actions = self.protocol.submit(payload);
             self.apply(actions);
-            self.last_flush = Instant::now();
+            self.last_flush = now;
         }
     }
 
@@ -240,18 +298,21 @@ impl Orderer {
     /// the oldest pending transaction's id so that, if a count/byte cut
     /// overtakes it in the ordered stream, every cutter recognises it as
     /// stale instead of prematurely cutting the next block.
-    fn order_time_cut_if_due(&mut self) {
-        if !self.protocol.is_leader() || !self.cutter.wants_time_cut() {
+    fn order_time_cut_if_due(&mut self, now: Instant) {
+        if !self.protocol.is_leader() || !self.cutter.wants_time_cut(now) {
             return;
         }
         let Some(first_pending) = self.cutter.first_pending() else {
             return;
         };
-        let resend_due = self
-            .marker_sent
-            .is_none_or(|at| at.elapsed() > self.shared.spec.block_cut.max_wait);
+        // `>=` so the resend fires exactly at the instant `next_due`
+        // advertises (`sent + max_wait`) — the deterministic scheduler
+        // advances the clock to precisely that deadline.
+        let resend_due = self.marker_sent.is_none_or(|at| {
+            now.saturating_duration_since(at) >= self.shared.spec.block_cut.max_wait
+        });
         if resend_due {
-            self.marker_sent = Some(Instant::now());
+            self.marker_sent = Some(now);
             let actions = self
                 .protocol
                 .submit(Payload::CutMarker { first_pending }.encode());

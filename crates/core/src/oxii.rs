@@ -44,12 +44,20 @@ use parblock_net::Endpoint;
 use parblock_types::{BlockNumber, Hash32, NodeId, SeqNo, TxId};
 
 use crate::msg::{BlockBundle, CommitMsg, ExecResult, Msg};
-use crate::pool::{Completion, ExecPool, SnapshotReader, WorkItem};
+use crate::pool::{Completion, ExecPool, InlineQueue, SnapshotReader, WorkItem};
 use crate::quorum::NewBlockQuorum;
 use crate::shared::Shared;
 
 /// Stop-flag poll granularity.
 const IDLE_TICK: Duration = Duration::from_micros(500);
+
+/// Where this executor's contract executions run: a thread pool under
+/// the free-running runner, a virtual-time inline queue under the
+/// deterministic scheduler (DESIGN.md §10).
+pub(crate) enum ExecBackend {
+    Pool(ExecPool),
+    Inline(InlineQueue),
+}
 
 /// Per-block execution state on one executor.
 struct BlockRun {
@@ -81,7 +89,7 @@ impl BlockRun {
 pub(crate) struct Executor {
     shared: Arc<Shared>,
     endpoint: Endpoint<Msg>,
-    pool: ExecPool,
+    backend: ExecBackend,
     /// Multi-version blockchain state: every applied write is a versioned
     /// put at the writer's log position, so concurrent blocks read
     /// position-correct snapshots.
@@ -119,11 +127,24 @@ pub(crate) struct Executor {
 }
 
 impl Executor {
+    /// Threaded construction: contract executions run on an
+    /// [`ExecPool`] of `spec.exec_pool` workers.
     pub(crate) fn new(shared: Arc<Shared>, endpoint: Endpoint<Msg>) -> Self {
+        let backend = ExecBackend::Pool(ExecPool::new(shared.spec.exec_pool));
+        Self::with_backend(shared, endpoint, backend)
+    }
+
+    /// Deterministic construction: no worker threads; executions complete
+    /// at `dispatch + cost` in virtual time, observed via
+    /// [`Executor::step`].
+    pub(crate) fn new_stepped(shared: Arc<Shared>, endpoint: Endpoint<Msg>) -> Self {
+        Self::with_backend(shared, endpoint, ExecBackend::Inline(InlineQueue::new()))
+    }
+
+    fn with_backend(shared: Arc<Shared>, endpoint: Endpoint<Msg>, backend: ExecBackend) -> Self {
         let mut state = MvccState::with_genesis(shared.genesis.iter().cloned());
         let is_observer = endpoint.id() == shared.spec.observer();
         let commit_dests = shared.spec.peer_ids();
-        let pool = ExecPool::new(shared.spec.exec_pool);
         let admission = NewBlockQuorum::new(shared.spec.newblock_quorum());
         let depth = shared.spec.exec_pipeline_depth.max(1);
         // Crash recovery: an on-disk store rebuilds the sealed chain,
@@ -142,7 +163,7 @@ impl Executor {
         Executor {
             shared,
             endpoint,
-            pool,
+            backend,
             state,
             ledger,
             durability,
@@ -161,6 +182,10 @@ impl Executor {
     }
 
     pub(crate) fn run(mut self) {
+        let ExecBackend::Pool(ref pool) = self.backend else {
+            unreachable!("the threaded loop requires the pool backend");
+        };
+        let completions = pool.completions().clone();
         loop {
             if self.shared.stop.load(Ordering::Relaxed) {
                 break;
@@ -177,7 +202,7 @@ impl Executor {
                 let done = if self.runs.is_empty() {
                     never()
                 } else {
-                    self.pool.completions().clone()
+                    completions.clone()
                 };
                 crossbeam::select! {
                     recv(net) -> msg => msg.map(Event::Net).unwrap_or(Event::Idle),
@@ -191,12 +216,88 @@ impl Executor {
                 Event::Idle => {}
             }
         }
+        self.finalize();
+        if let ExecBackend::Pool(pool) = self.backend {
+            pool.shutdown();
+        }
+    }
+
+    /// Flushes end-of-run observability (the observer's durability
+    /// counters). Called once when the node stops serving.
+    pub(crate) fn finalize(&mut self) {
         if self.is_observer {
             self.shared
                 .metrics
                 .set_durability_stats(self.durability.stats());
         }
-        self.pool.shutdown();
+    }
+
+    /// Deterministic step: drain the mailbox, then surface every
+    /// execution whose virtual completion time has arrived. Returns how
+    /// many events (messages + completions) were handled.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a pool-backed executor — stepping is only meaningful
+    /// under the inline backend.
+    pub(crate) fn step(&mut self) -> usize {
+        let mut handled = 0;
+        while let Some(envelope) = self.endpoint.try_recv() {
+            self.on_msg(envelope.from, envelope.msg);
+            handled += 1;
+        }
+        let now = self.shared.clock.now();
+        let due = match &mut self.backend {
+            ExecBackend::Inline(queue) => queue.take_due(now),
+            ExecBackend::Pool(_) => panic!("step() requires the inline backend"),
+        };
+        for completion in due {
+            self.on_completion(completion);
+            handled += 1;
+        }
+        handled
+    }
+
+    /// The earliest instant at which this executor has more work
+    /// (a pending virtual completion), for the scheduler's time advance.
+    pub(crate) fn next_completion_due(&self) -> Option<Instant> {
+        match &self.backend {
+            ExecBackend::Inline(queue) => queue.next_due(),
+            ExecBackend::Pool(_) => None,
+        }
+    }
+
+    /// Whether the inline backend still holds unfinished executions.
+    pub(crate) fn has_pending_work(&self) -> bool {
+        match &self.backend {
+            ExecBackend::Inline(queue) => !queue.is_empty(),
+            ExecBackend::Pool(_) => false,
+        }
+    }
+
+    // ---- oracle accessors (deterministic simulation) -------------------
+
+    /// The node id.
+    pub(crate) fn node_id(&self) -> NodeId {
+        self.endpoint.id()
+    }
+
+    /// The sealed ledger (blocks appended strictly in order).
+    pub(crate) fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// The commit watermark: number of the last sealed block.
+    pub(crate) fn watermark(&self) -> BlockNumber {
+        BlockNumber(self.ledger.next_number().0 - 1)
+    }
+
+    /// State digest at the commit watermark — quorum-voted writes from
+    /// still-in-flight later blocks are excluded, so lagging replicas
+    /// can be compared prefix-against-prefix.
+    pub(crate) fn state_digest_at_watermark(&self) -> Hash32 {
+        self.state
+            .digest_at(Version::new(self.watermark(), SeqNo(u32::MAX)))
     }
 
     fn on_msg(&mut self, from: NodeId, msg: Msg) {
@@ -257,7 +358,7 @@ impl Executor {
             if self.runs.len() >= self.depth {
                 // Boundary stall: work is ready but the pipeline is full.
                 if self.pending_stall.is_none() {
-                    self.pending_stall = Some(Instant::now());
+                    self.pending_stall = Some(self.shared.clock.now());
                 }
                 return started;
             }
@@ -318,7 +419,8 @@ impl Executor {
         }
         if let Some(since) = self.pending_stall.take() {
             if self.is_observer {
-                self.shared.metrics.record_boundary_stall(since.elapsed());
+                let stall = self.shared.clock.now().saturating_duration_since(since);
+                self.shared.metrics.record_boundary_stall(stall);
             }
         }
         self.dispatch_ready(number, &initial);
@@ -369,7 +471,12 @@ impl Executor {
             });
         }
         for item in items {
-            self.pool.dispatch(item);
+            match &mut self.backend {
+                ExecBackend::Pool(pool) => pool.dispatch(item),
+                ExecBackend::Inline(queue) => {
+                    queue.dispatch(item, self.shared.clock.now());
+                }
+            }
         }
     }
 

@@ -85,6 +85,32 @@ pub(crate) struct Completion {
     pub result: ExecResult,
 }
 
+/// Executes one work item against its snapshot (the cost model wait is
+/// the caller's concern: threaded workers sleep it, the deterministic
+/// queue charges it as a virtual completion delay instead).
+fn execute_item(item: &WorkItem) -> Completion {
+    let outcome = item.contract.execute(&item.tx, &item.snapshot);
+    // A read outside the declared set executed against state the
+    // scheduler never ordered: abort deterministically (every agent sees
+    // the same declared set, so all agents agree).
+    let result = if item.snapshot.undeclared_read() {
+        ExecResult::Aborted(format!(
+            "undeclared read outside the declared read set of {:?}",
+            item.tx.id()
+        ))
+    } else {
+        match outcome {
+            ExecOutcome::Commit(writes) => ExecResult::Committed(writes),
+            ExecOutcome::Abort(reason) => ExecResult::Aborted(reason),
+        }
+    };
+    Completion {
+        block: item.block,
+        seq: item.seq,
+        result,
+    }
+}
+
 /// A fixed pool of execution workers.
 pub(crate) struct ExecPool {
     work_tx: Option<Sender<WorkItem>>,
@@ -108,27 +134,7 @@ impl ExecPool {
                         if !item.cost.is_zero() {
                             std::thread::sleep(item.cost);
                         }
-                        let outcome = item.contract.execute(&item.tx, &item.snapshot);
-                        // A read outside the declared set executed against
-                        // state the scheduler never ordered: abort
-                        // deterministically (every agent sees the same
-                        // declared set, so all agents agree).
-                        let result = if item.snapshot.undeclared_read() {
-                            ExecResult::Aborted(format!(
-                                "undeclared read outside the declared read set of {:?}",
-                                item.tx.id()
-                            ))
-                        } else {
-                            match outcome {
-                                ExecOutcome::Commit(writes) => ExecResult::Committed(writes),
-                                ExecOutcome::Abort(reason) => ExecResult::Aborted(reason),
-                            }
-                        };
-                        let _ = done_tx.send(Completion {
-                            block: item.block,
-                            seq: item.seq,
-                            result,
-                        });
+                        let _ = done_tx.send(execute_item(&item));
                     }
                 })
                 .expect("spawn exec worker");
@@ -167,6 +173,86 @@ impl Drop for ExecPool {
         // Closing the channel lets workers exit; joining here would risk
         // blocking in a destructor (C-DTOR-BLOCK), so we only signal.
         self.work_tx = None;
+    }
+}
+
+/// The deterministic execution backend (DESIGN.md §10): no worker
+/// threads. A dispatched item is executed immediately (its snapshot is
+/// already taken, so the result is position-correct regardless of when
+/// it is *observed*), and the completion is held until virtual time
+/// reaches `dispatch + cost` — the same cost model as the threaded pool,
+/// minus the host scheduler. Completions surface in `(due, dispatch
+/// order)`, a pure function of the schedule.
+pub(crate) struct InlineQueue {
+    pending: std::collections::BinaryHeap<std::cmp::Reverse<InlineEntry>>,
+    next_ticket: u64,
+}
+
+struct InlineEntry {
+    due: std::time::Instant,
+    ticket: u64,
+    completion: Completion,
+}
+
+impl PartialEq for InlineEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.ticket == other.ticket
+    }
+}
+impl Eq for InlineEntry {}
+impl PartialOrd for InlineEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for InlineEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due, self.ticket).cmp(&(other.due, other.ticket))
+    }
+}
+
+impl InlineQueue {
+    pub(crate) fn new() -> Self {
+        InlineQueue {
+            pending: std::collections::BinaryHeap::new(),
+            next_ticket: 0,
+        }
+    }
+
+    /// Executes `item` now; its completion becomes visible at
+    /// `now + item.cost`.
+    pub(crate) fn dispatch(&mut self, item: WorkItem, now: std::time::Instant) {
+        let due = now + item.cost;
+        let completion = execute_item(&item);
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        self.pending.push(std::cmp::Reverse(InlineEntry {
+            due,
+            ticket,
+            completion,
+        }));
+    }
+
+    /// The earliest pending completion's due time.
+    pub(crate) fn next_due(&self) -> Option<std::time::Instant> {
+        self.pending.peek().map(|std::cmp::Reverse(e)| e.due)
+    }
+
+    /// Removes and returns every completion due at or before `now`.
+    pub(crate) fn take_due(&mut self, now: std::time::Instant) -> Vec<Completion> {
+        let mut out = Vec::new();
+        while let Some(std::cmp::Reverse(entry)) = self.pending.peek() {
+            if entry.due > now {
+                break;
+            }
+            let std::cmp::Reverse(entry) = self.pending.pop().expect("peeked");
+            out.push(entry.completion);
+        }
+        out
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.pending.is_empty()
     }
 }
 
@@ -232,6 +318,49 @@ mod tests {
         assert!(!reader.undeclared_read());
         assert_eq!(reader.read(Key(9)), Value::Unit, "undeclared key");
         assert!(reader.undeclared_read());
+    }
+
+    #[test]
+    fn inline_queue_orders_completions_by_due_then_dispatch() {
+        use std::time::Instant;
+        let contract: Arc<dyn SmartContract> = Arc::new(AccountingContract::new(AppId(0)));
+        let maker = AccountingContract::new(AppId(0));
+        let item = |seq: u32, cost_us: u64| {
+            let op = AccountingOp::Transfer {
+                from: Key(1),
+                to: Key(2),
+                amount: 1,
+            };
+            let tx = maker.transaction(ClientId(1), u64::from(seq), &op);
+            WorkItem {
+                block: BlockNumber(1),
+                seq: SeqNo(seq),
+                tx,
+                snapshot: SnapshotReader::new(HashMap::from([
+                    (Key(1), Some(Value::Int(10))),
+                    (Key(2), None),
+                ])),
+                contract: Arc::clone(&contract),
+                cost: Duration::from_micros(cost_us),
+            }
+        };
+        let mut q = InlineQueue::new();
+        let t0 = Instant::now();
+        q.dispatch(item(0, 100), t0);
+        q.dispatch(item(1, 50), t0);
+        q.dispatch(item(2, 50), t0);
+        assert_eq!(q.next_due(), Some(t0 + Duration::from_micros(50)));
+        assert!(q.take_due(t0).is_empty(), "nothing due at dispatch time");
+        let due = q.take_due(t0 + Duration::from_micros(60));
+        assert_eq!(
+            due.iter().map(|c| c.seq).collect::<Vec<_>>(),
+            vec![SeqNo(1), SeqNo(2)],
+            "equal due times resolve in dispatch order"
+        );
+        let rest = q.take_due(t0 + Duration::from_millis(1));
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].seq, SeqNo(0));
+        assert!(q.is_empty());
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use parblock_contracts::AppRegistry;
 use parblock_crypto::KeyRegistry;
-use parblock_types::{Key, Value};
+use parblock_types::{Clock, Key, Value};
 use parblock_workload::WorkloadGen;
 
 use crate::cluster::ClusterSpec;
@@ -19,10 +19,18 @@ pub(crate) struct Shared {
     pub metrics: Metrics,
     pub stop: Arc<AtomicBool>,
     pub genesis: Vec<(Key, Value)>,
+    /// The cluster's time source: the wall clock under the threaded
+    /// runner, a simulated clock under the deterministic scheduler
+    /// (DESIGN.md §10). Every node reads *now* through this.
+    pub clock: Clock,
 }
 
 impl Shared {
     pub(crate) fn new(spec: ClusterSpec) -> Arc<Self> {
+        Self::with_clock(spec, Clock::wall())
+    }
+
+    pub(crate) fn with_clock(spec: ClusterSpec, clock: Clock) -> Arc<Self> {
         // Fresh on-disk mode (the env-driven default): each run starts
         // from an empty store, so unrelated runs sharing one spec never
         // recover each other's state. Wiped once here — node threads
@@ -38,9 +46,10 @@ impl Shared {
         Arc::new(Shared {
             registry: spec.registry(),
             keys: spec.build_keys(),
-            metrics: Metrics::new(),
+            metrics: Metrics::with_clock(clock.clone()),
             stop: Arc::new(AtomicBool::new(false)),
             genesis,
+            clock,
             spec,
         })
     }

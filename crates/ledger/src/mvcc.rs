@@ -140,6 +140,23 @@ impl MvccState {
         )
     }
 
+    /// A digest of the values visible at `horizon` (the newest version at
+    /// or below it per key), byte-compatible with [`MvccState::digest`].
+    /// A replica whose commit watermark stopped at block `w` is
+    /// prefix-consistent with a reference replay iff its `digest_at` the
+    /// watermark equals the replay's digest at height `w` — even when the
+    /// replica has already applied quorum-voted writes from later,
+    /// still-in-flight blocks.
+    #[must_use]
+    pub fn digest_at(&self, horizon: Version) -> parblock_types::Hash32 {
+        crate::kv::digest_entries(
+            self.chains.iter().filter_map(|(k, chain)| {
+                let below = chain.partition_point(|(v, _)| *v <= horizon);
+                below.checked_sub(1).map(|i| (*k, &chain[i].1))
+            }),
+        )
+    }
+
     /// The newest version at or below `horizon` for every key, i.e. the
     /// state a reader positioned exactly at the horizon observes. This is
     /// the snapshot a durability checkpoint persists: versions above the
@@ -268,6 +285,22 @@ mod tests {
         assert_eq!(mv.digest(), kv.digest());
         mv.put(Key(2), Value::Int(3), v(3, 0));
         assert_ne!(mv.digest(), kv.digest());
+    }
+
+    #[test]
+    fn digest_at_matches_a_store_truncated_at_the_horizon() {
+        let mut s = MvccState::new();
+        s.put(Key(1), Value::Int(10), v(1, 0));
+        s.put(Key(2), Value::Int(20), v(1, 1));
+        s.put(Key(1), Value::Int(11), v(2, 0)); // beyond the horizon
+        s.put(Key(3), Value::Int(30), v(3, 0)); // entirely beyond
+        let mut truncated = MvccState::new();
+        truncated.put(Key(1), Value::Int(10), v(1, 0));
+        truncated.put(Key(2), Value::Int(20), v(1, 1));
+        let horizon = v(1, u32::MAX);
+        assert_eq!(s.digest_at(horizon), truncated.digest());
+        assert_ne!(s.digest_at(horizon), s.digest());
+        assert_eq!(s.digest_at(v(9, 0)), s.digest(), "horizon above everything");
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! The delivery engine: applies latency, jitter and faults, then delivers
-//! to mailboxes via a timer thread.
+//! to mailboxes — via a timer thread in the default (wall-clock) mode, or
+//! under explicit caller control in the *manual* mode the deterministic
+//! simulator uses (DESIGN.md §10).
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -12,7 +14,7 @@ use parking_lot::{Condvar, Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use parblock_types::NodeId;
+use parblock_types::{Clock, NodeId};
 
 use crate::endpoint::{Endpoint, Envelope};
 use crate::faults::Faults;
@@ -37,6 +39,8 @@ use crate::topology::{LatencyModel, Topology};
 pub struct NetworkBuilder {
     topology: Topology,
     seed: u64,
+    clock: Option<Clock>,
+    manual: bool,
 }
 
 impl NetworkBuilder {
@@ -60,10 +64,41 @@ impl NetworkBuilder {
         self
     }
 
-    /// Builds the network and starts its delivery thread.
+    /// Injects the time source delivery deadlines are computed against
+    /// (default: the wall clock).
+    #[must_use]
+    pub fn clock(mut self, clock: Clock) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+
+    /// Switches to *manual delivery*: no delivery thread is spawned, and
+    /// queued messages only move when the caller invokes
+    /// [`SimNetwork::deliver_due`]. This is the deterministic-simulation
+    /// mode — delivery order becomes a pure function of `(due, seq)`,
+    /// independent of host scheduling.
+    #[must_use]
+    pub fn manual_delivery(mut self) -> Self {
+        self.manual = true;
+        self
+    }
+
+    /// Builds the network (and starts its delivery thread unless
+    /// [`NetworkBuilder::manual_delivery`] was selected).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a simulated clock is combined with threaded delivery:
+    /// the delivery thread waits on real time and would never observe
+    /// virtual time advancing.
     #[must_use]
     pub fn build<M: Send + 'static>(self) -> SimNetwork<M> {
-        SimNetwork::start(LatencyModel::new(self.topology), self.seed)
+        let clock = self.clock.unwrap_or_default();
+        assert!(
+            self.manual || !clock.is_simulated(),
+            "a simulated clock requires manual_delivery()"
+        );
+        SimNetwork::start(LatencyModel::new(self.topology), self.seed, clock, self.manual)
     }
 }
 
@@ -94,6 +129,7 @@ struct Shared<M> {
     faults: Faults,
     stats: NetStats,
     rng: Mutex<StdRng>,
+    clock: Clock,
 }
 
 /// A simulated network. Cheap to clone; all clones share the same state.
@@ -117,7 +153,7 @@ impl<M: Send + 'static> Clone for SimNetwork<M> {
 }
 
 impl<M: Send + 'static> SimNetwork<M> {
-    fn start(latency: LatencyModel, seed: u64) -> Self {
+    fn start(latency: LatencyModel, seed: u64, clock: Clock, manual: bool) -> Self {
         let shared = Arc::new(Shared {
             queue: Mutex::new(Queue {
                 heap: BinaryHeap::new(),
@@ -131,15 +167,22 @@ impl<M: Send + 'static> SimNetwork<M> {
             faults: Faults::new(),
             stats: NetStats::new(),
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            clock,
         });
-        let worker_shared = Arc::clone(&shared);
-        let handle = std::thread::Builder::new()
-            .name("simnet-delivery".into())
-            .spawn(move || delivery_loop(&worker_shared))
-            .expect("spawn delivery thread");
+        let worker = if manual {
+            None
+        } else {
+            let worker_shared = Arc::clone(&shared);
+            Some(
+                std::thread::Builder::new()
+                    .name("simnet-delivery".into())
+                    .spawn(move || delivery_loop(&worker_shared))
+                    .expect("spawn delivery thread"),
+            )
+        };
         SimNetwork {
             shared,
-            worker: Arc::new(Mutex::new(Some(handle))),
+            worker: Arc::new(Mutex::new(worker)),
         }
     }
 
@@ -181,7 +224,7 @@ impl<M: Send + 'static> SimNetwork<M> {
             self.deliver(to, envelope);
             return;
         }
-        let due = Instant::now() + delay;
+        let due = self.shared.clock.now() + delay;
         let mut queue = self.shared.queue.lock();
         let seq = queue.next_seq;
         queue.next_seq += 1;
@@ -193,6 +236,50 @@ impl<M: Send + 'static> SimNetwork<M> {
 
     fn deliver(&self, to: NodeId, envelope: Envelope<M>) {
         deliver_to(&self.shared, to, envelope);
+    }
+
+    /// The due time of the earliest queued message, if any (manual
+    /// delivery: the next instant [`SimNetwork::deliver_due`] can make
+    /// progress at).
+    #[must_use]
+    pub fn next_due(&self) -> Option<Instant> {
+        self.shared
+            .queue
+            .lock()
+            .heap
+            .peek()
+            .map(|Reverse(key)| key.due)
+    }
+
+    /// Delivers every queued message due at or before `now`, in
+    /// deterministic `(due, enqueue-seq)` order. Returns how many were
+    /// delivered. This is the manual-delivery engine tick; it is safe to
+    /// call in threaded mode too (the delivery thread simply finds less
+    /// work).
+    pub fn deliver_due(&self, now: Instant) -> usize {
+        let mut delivered = 0;
+        loop {
+            let item = {
+                let mut queue = self.shared.queue.lock();
+                match queue.heap.peek() {
+                    Some(Reverse(key)) if key.due <= now => {
+                        let Reverse(key) = queue.heap.pop().expect("peeked");
+                        queue.items.remove(&key.seq)
+                    }
+                    _ => return delivered,
+                }
+            };
+            if let Some(item) = item {
+                deliver_to(&self.shared, item.to, item.envelope);
+                delivered += 1;
+            }
+        }
+    }
+
+    /// Number of messages queued for future delivery.
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.shared.queue.lock().items.len()
     }
 
     /// Stops the delivery thread, dropping any undelivered messages.
@@ -392,6 +479,62 @@ mod tests {
         let net = lan(0);
         net.shutdown();
         net.shutdown();
+    }
+
+    #[test]
+    fn manual_mode_holds_messages_until_delivered() {
+        let clock = Clock::simulated();
+        let net: SimNetwork<u32> = NetworkBuilder::new()
+            .topology(Topology::single_dc(Duration::from_micros(100)))
+            .seed(1)
+            .clock(clock.clone())
+            .manual_delivery()
+            .build();
+        let a = net.endpoint(NodeId(0));
+        let b = net.endpoint(NodeId(1));
+        a.send(NodeId(1), 7);
+        a.send(NodeId(1), 8);
+        assert_eq!(net.queued(), 2, "nothing moves without deliver_due");
+        assert!(b.try_recv().is_none());
+        let due = net.next_due().expect("queued");
+        assert_eq!(due.duration_since(clock.now()), Duration::from_micros(100));
+        // Advancing past the deadline and ticking delivers in FIFO order.
+        clock.advance(Duration::from_micros(150));
+        assert_eq!(net.deliver_due(clock.now()), 2);
+        assert_eq!(b.try_recv().unwrap().msg, 7);
+        assert_eq!(b.try_recv().unwrap().msg, 8);
+        assert_eq!(net.next_due(), None);
+        net.shutdown();
+    }
+
+    #[test]
+    fn manual_mode_respects_due_times() {
+        let clock = Clock::simulated();
+        let mut topo = Topology::two_dc(Duration::from_micros(10), Duration::from_millis(1));
+        topo.place(NodeId(2), crate::DcId(1));
+        let net: SimNetwork<u32> = NetworkBuilder::new()
+            .topology(topo)
+            .clock(clock.clone())
+            .manual_delivery()
+            .build();
+        let a = net.endpoint(NodeId(0));
+        let _b = net.endpoint(NodeId(1));
+        let _c = net.endpoint(NodeId(2));
+        a.send(NodeId(2), 1); // far: 1 ms
+        a.send(NodeId(1), 2); // near: 10 µs
+        clock.advance(Duration::from_micros(10));
+        assert_eq!(net.deliver_due(clock.now()), 1, "only the near message is due");
+        clock.advance(Duration::from_millis(1));
+        assert_eq!(net.deliver_due(clock.now()), 1);
+        net.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "manual_delivery")]
+    fn simulated_clock_without_manual_mode_panics() {
+        let _ = NetworkBuilder::new()
+            .clock(Clock::simulated())
+            .build::<u32>();
     }
 
     #[test]

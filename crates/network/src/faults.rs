@@ -102,6 +102,36 @@ impl Faults {
         *self.state.write() = FaultState::default();
     }
 
+    /// Removes the partition of the unordered pair `{a, b}` only, leaving
+    /// every other fault in place (unlike the global [`Faults::heal`] —
+    /// the deterministic fault scheduler overlaps independent fault
+    /// windows and must end them independently).
+    pub fn unpartition(&self, a: NodeId, b: NodeId) {
+        self.state.write().partitioned.remove(&unordered(a, b));
+    }
+
+    /// Removes every cross pair between the two groups (the inverse of
+    /// [`Faults::partition_groups`]).
+    pub fn unpartition_groups(&self, left: &[NodeId], right: &[NodeId]) {
+        let mut state = self.state.write();
+        for &a in left {
+            for &b in right {
+                state.partitioned.remove(&unordered(a, b));
+            }
+        }
+    }
+
+    /// Clears the drop probability on the directed link `from → to` only.
+    pub fn clear_drop(&self, from: NodeId, to: NodeId) {
+        self.state.write().drop_prob.remove(&(from, to));
+    }
+
+    /// Whether `node` is currently crashed.
+    #[must_use]
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.state.read().crashed.contains(&node)
+    }
+
     /// Whether a message on `from → to` should be dropped, given a uniform
     /// sample `unit` in `[0, 1)`.
     #[must_use]
@@ -186,6 +216,30 @@ mod tests {
     #[should_panic(expected = "probability must be in [0, 1]")]
     fn invalid_probability_panics() {
         Faults::new().set_drop(NodeId(0), NodeId(1), 1.5);
+    }
+
+    #[test]
+    fn scoped_removal_leaves_other_faults_in_place() {
+        let f = Faults::new();
+        f.partition(NodeId(0), NodeId(1));
+        f.partition_groups(&[NodeId(2)], &[NodeId(3), NodeId(4)]);
+        f.set_drop(NodeId(5), NodeId(6), 1.0);
+        f.crash(NodeId(7));
+
+        f.unpartition(NodeId(1), NodeId(0));
+        assert!(!f.should_drop(NodeId(0), NodeId(1), 0.99));
+        assert!(f.should_drop(NodeId(2), NodeId(3), 0.99), "group intact");
+
+        f.unpartition_groups(&[NodeId(2)], &[NodeId(3), NodeId(4)]);
+        assert!(!f.should_drop(NodeId(2), NodeId(4), 0.99));
+
+        assert!(f.should_drop(NodeId(5), NodeId(6), 0.5), "drop intact");
+        f.clear_drop(NodeId(5), NodeId(6));
+        assert!(!f.should_drop(NodeId(5), NodeId(6), 0.0));
+
+        assert!(f.is_crashed(NodeId(7)), "crash untouched by scoped heals");
+        f.restart(NodeId(7));
+        assert!(!f.is_crashed(NodeId(7)));
     }
 
     #[test]

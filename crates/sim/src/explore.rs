@@ -1,0 +1,147 @@
+//! The seed explorer: sweep seeds, run faulted + reference simulations,
+//! check all four oracles, and print failing seeds as one-line repro
+//! commands.
+
+use parblock_types::Hash32;
+use parblock_workload::WorkloadGen;
+use parblockchain::{run_sim, SimOutcome};
+
+use crate::faultgen::{plan_for_seed, ExploreConfig};
+use crate::oracle;
+
+/// The verdict of one seed.
+#[derive(Debug)]
+pub struct SeedReport {
+    /// The seed.
+    pub seed: u64,
+    /// What the seed explored (shape + fault schedule).
+    pub description: String,
+    /// Oracle violations (empty = all four passed).
+    pub failures: Vec<String>,
+    /// Digest of the faulted run's `RunReport` (bit-reproducibility
+    /// witness: running the seed again must yield the same digest).
+    pub report_digest: Hash32,
+    /// Scheduler events handled by the faulted run.
+    pub events: u64,
+    /// Blocks sealed by the faulted run.
+    pub blocks: u64,
+}
+
+impl SeedReport {
+    /// Whether every oracle passed.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// The one-line command reproducing this seed bit-for-bit.
+    #[must_use]
+    pub fn repro_command(&self) -> String {
+        format!("cargo run --release --bin repro -- explore --seed {}", self.seed)
+    }
+}
+
+/// Runs one seed end to end: derive the plan, run the faulted schedule,
+/// run the uninterrupted reference, check all four oracles.
+#[must_use]
+pub fn run_seed(seed: u64, explore: &ExploreConfig) -> SeedReport {
+    let plan = plan_for_seed(seed, explore);
+    let faulted = run_sim(&plan.config);
+    evaluate(&plan, seed, &faulted)
+}
+
+/// Checks all four oracles against an already-computed faulted run
+/// (running the uninterrupted reference here — second, so that for
+/// on-disk seeds its startup wipe never races the faulted run; both use
+/// the same per-seed tempdir, strictly sequentially).
+fn evaluate(
+    plan: &crate::faultgen::SeedPlan,
+    seed: u64,
+    faulted: &SimOutcome,
+) -> SeedReport {
+    let mut reference_config = plan.config.clone();
+    reference_config.plan = parblockchain::FaultPlan::none();
+    let reference = run_sim(&reference_config);
+
+    let spec = &plan.config.spec;
+    let genesis = WorkloadGen::new(spec.workload_config()).genesis();
+    let registry = spec.registry();
+    let replay = oracle::serial_replay(&faulted.observer_chain, &genesis, &registry);
+
+    let mut failures = Vec::new();
+    let mut record = |name: &str, result: Result<(), String>| {
+        if let Err(why) = result {
+            failures.push(format!("[{name}] {why}"));
+        }
+    };
+    record(
+        "serializability",
+        oracle::check_serializability(spec, faulted, &replay),
+    );
+    record("convergence", oracle::check_convergence(faulted, &replay));
+    record("exactly-once", oracle::check_exactly_once(faulted));
+    record(
+        "recovery",
+        oracle::check_recovery_equivalence(faulted, &reference),
+    );
+
+    SeedReport {
+        seed,
+        description: plan.description.clone(),
+        failures,
+        report_digest: faulted.report.digest(),
+        events: faulted.events,
+        blocks: faulted.report.blocks,
+    }
+}
+
+/// Runs one seed's faulted schedule twice (for the caller's
+/// bit-reproducibility assertion) and checks the oracles against the
+/// first run — three simulations in total (faulted ×2 + reference),
+/// nothing executed redundantly. Used by `repro explore --seed N`.
+#[must_use]
+pub fn run_seed_twice(seed: u64, explore: &ExploreConfig) -> (SeedReport, SimOutcome, SimOutcome) {
+    let plan = plan_for_seed(seed, explore);
+    let first = run_sim(&plan.config);
+    let second = run_sim(&plan.config);
+    let report = evaluate(&plan, seed, &first);
+    (report, first, second)
+}
+
+/// Sweep summary.
+#[derive(Debug, Default)]
+pub struct ExploreSummary {
+    /// Per-seed verdicts, in sweep order.
+    pub reports: Vec<SeedReport>,
+}
+
+impl ExploreSummary {
+    /// Seeds that violated an oracle.
+    #[must_use]
+    pub fn failed(&self) -> Vec<&SeedReport> {
+        self.reports.iter().filter(|r| !r.passed()).collect()
+    }
+
+    /// Whether the whole sweep passed.
+    #[must_use]
+    pub fn all_passed(&self) -> bool {
+        self.reports.iter().all(SeedReport::passed)
+    }
+
+    /// Total scheduler events across the sweep.
+    #[must_use]
+    pub fn total_events(&self) -> u64 {
+        self.reports.iter().map(|r| r.events).sum()
+    }
+}
+
+/// Sweeps `seeds`, checking every oracle on every seed.
+#[must_use]
+pub fn explore<I: IntoIterator<Item = u64>>(seeds: I, config: &ExploreConfig) -> ExploreSummary {
+    ExploreSummary {
+        reports: seeds
+            .into_iter()
+            .map(|seed| run_seed(seed, config))
+            .collect(),
+    }
+}

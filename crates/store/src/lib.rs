@@ -69,3 +69,4 @@ pub mod wal;
 pub use checkpoint::Checkpoint;
 pub use frame::crc32;
 pub use store::{reconcile_cluster, OnDisk, Recovered, Store};
+pub use wal::tear_wal_tail;

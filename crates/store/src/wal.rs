@@ -155,6 +155,49 @@ fn read_file(path: &Path) -> io::Result<Vec<u8>> {
     Ok(bytes)
 }
 
+/// Fault injection for the deterministic simulator: truncates up to
+/// `bytes` from the end of the **newest** WAL segment under
+/// `wal_dir`, modelling writes that sat in the page cache when the
+/// machine died (everything after the last completed fsync may vanish;
+/// the kernel drops it from the tail backwards on a single segment).
+///
+/// This is only sound as a *tail* tear: WAL records are appended in
+/// effect→seal order, so any surviving prefix is a consistent earlier
+/// watermark, and [`Wal::open`] already truncates a torn trailing frame.
+/// Returns the number of bytes removed (zero when the directory has no
+/// segments).
+///
+/// # Errors
+///
+/// Any I/O failure listing or truncating segment files.
+pub fn tear_wal_tail(wal_dir: &Path, bytes: u64) -> io::Result<u64> {
+    let entries = match fs::read_dir(wal_dir) {
+        Ok(entries) => entries,
+        // No WAL directory: nothing to tear. Anything else (permissions,
+        // transient I/O) must surface — a silently skipped tear would
+        // make a fault schedule weaker than its seed claims.
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(e),
+    };
+    let newest = entries
+        .filter_map(|entry| {
+            let path = entry.ok()?.path();
+            segment_index(&path).map(|index| (index, path))
+        })
+        .max_by_key(|(index, _)| *index);
+    let Some((_, path)) = newest else {
+        return Ok(0);
+    };
+    let len = fs::metadata(&path)?.len();
+    let torn = bytes.min(len);
+    if torn > 0 {
+        let file = OpenOptions::new().write(true).open(&path)?;
+        file.set_len(len - torn)?;
+        file.sync_all()?;
+    }
+    Ok(torn)
+}
+
 /// Fsyncs a directory so file creations/renames/removals inside it are
 /// durable (best-effort: not all platforms support syncing directories).
 pub(crate) fn sync_dir(dir: &Path) -> io::Result<()> {
@@ -403,6 +446,35 @@ mod tests {
         drop(wal);
         let (_, recovered) = Wal::open(tmp.path(), 2).expect("reopen");
         assert_eq!(recovered, vec![effects(1, 0, 10), seal(1)]);
+    }
+
+    #[test]
+    fn torn_tail_loses_a_suffix_and_recovery_stays_a_clean_prefix() {
+        let tmp = TempDir::new("wal-tear");
+        let (mut wal, _) = Wal::open(tmp.path(), 1).expect("open");
+        for i in 0..4 {
+            wal.append(&effects(1, i, i64::from(i))).expect("append");
+        }
+        drop(wal);
+        // Tear a few bytes: the final frame becomes torn and is dropped;
+        // everything before it replays intact.
+        let torn = tear_wal_tail(tmp.path(), 3).expect("tear");
+        assert_eq!(torn, 3);
+        let (_, recovered) = Wal::open(tmp.path(), 1).expect("reopen");
+        assert_eq!(recovered.len(), 3, "exactly the torn record is lost");
+        assert_eq!(recovered[2], effects(1, 2, 2));
+        // Tearing more than the file holds empties it without error.
+        let torn = tear_wal_tail(tmp.path(), u64::MAX).expect("tear all");
+        assert!(torn > 0);
+        let (_, recovered) = Wal::open(tmp.path(), 1).expect("reopen empty");
+        assert!(recovered.is_empty());
+        // A directory without segments tears zero bytes.
+        let empty = TempDir::new("wal-tear-empty");
+        assert_eq!(tear_wal_tail(empty.path(), 100).expect("no-op"), 0);
+        assert_eq!(
+            tear_wal_tail(&empty.path().join("missing"), 100).expect("no dir"),
+            0
+        );
     }
 
     #[test]

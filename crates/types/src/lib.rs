@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 mod block;
+mod clock;
 mod config;
 mod error;
 mod ids;
@@ -28,6 +29,7 @@ mod value;
 pub mod wire;
 
 pub use block::{Block, BlockHeader, Hash32};
+pub use clock::Clock;
 pub use config::{BlockCutConfig, CommitPolicy, DurabilityConfig, ExecutionCosts, SystemConfig};
 pub use error::TypeError;
 pub use ids::{AppId, BlockNumber, ClientId, NodeId, Role, SeqNo, TxId};

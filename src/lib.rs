@@ -10,6 +10,7 @@ pub use parblock_crypto as crypto;
 pub use parblock_depgraph as depgraph;
 pub use parblock_ledger as ledger;
 pub use parblock_net as net;
+pub use parblock_sim as sim;
 pub use parblock_store as store;
 pub use parblock_types as types;
 pub use parblock_workload as workload;

@@ -14,9 +14,13 @@ use parblockchain_repro as _;
 
 fn pipelined_spec(contention: f64, depth: usize) -> ClusterSpec {
     let mut spec = ClusterSpec::new(SystemKind::Oxii);
-    // Count cuts only (transaction counts are multiples of 25): wall-clock
-    // time cuts would make block boundaries — and hence ledger hashes —
-    // nondeterministic run-to-run, which is not what this suite measures.
+    // Count cuts only (transaction counts are multiples of 25): under the
+    // free-running threaded runner, wall-clock time cuts make block
+    // boundaries — and hence ledger hashes — nondeterministic run-to-run.
+    // The restriction is specific to *this* runner: under the simulated
+    // clock, time-cut boundaries are deterministic and the same
+    // depth-invariance property is asserted for time-driven cuts in
+    // `tests/sim_determinism.rs::pipeline_depths_agree_under_time_cuts_in_simulation`.
     spec.block_cut = parblockchain_repro::types::BlockCutConfig {
         max_txns: 25,
         max_bytes: usize::MAX,
