@@ -1,0 +1,44 @@
+//! Execution-mode benchmark (DESIGN.md §11): 1000-transaction blocks
+//! pushed through the executor-bound OXII cluster under each
+//! [`ExecutionMode`], at low and high contention. Pessimistic pays the
+//! dependency-graph wait chains; optimistic pays validation plus any
+//! aborted incarnations; hybrid picks per block by conflict density.
+//! The `repro ablation-mode` table reports the same grid as committed
+//! throughput with the speculation counters.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use parblockchain::{run_fixed, ClusterSpec, ExecutionMode, SystemKind};
+
+fn bench_exec_mode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oxii_exec_mode");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(15));
+    for contention in [0.0, 0.9] {
+        for mode in ExecutionMode::ALL {
+            let mut spec = ClusterSpec::new(SystemKind::Oxii);
+            spec.execution_mode = mode;
+            spec.workload.contention = contention;
+            spec.exec_pipeline_depth = 2;
+            spec.block_cut = parblock_types::BlockCutConfig::with_max_txns(1_000);
+            spec.costs = parblock_types::ExecutionCosts::per_tx(Duration::from_micros(500));
+            spec.exec_pool = 8;
+            spec.batch_max = 256;
+            spec.topology.intra = Duration::from_millis(2);
+            let label = format!("{mode}/contention_{contention}");
+            group.bench_with_input(BenchmarkId::new("mode", label), &spec, |b, spec| {
+                b.iter(|| {
+                    let report = run_fixed(spec, 1_000, 30_000.0, Duration::from_secs(60));
+                    assert_eq!(report.committed, 1_000);
+                    report.window
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exec_mode);
+criterion_main!(benches);

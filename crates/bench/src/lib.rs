@@ -16,9 +16,9 @@ pub mod recover;
 pub mod table;
 
 pub use experiments::{
-    ablation_commit_batching, ablation_durability, ablation_mv_graph, ablation_pipeline,
-    ablation_streaming, fig5_block_size, fig6_contention, fig7_geo, measure_point, peak_search,
-    ExperimentScale, Point,
+    ablation_commit_batching, ablation_durability, ablation_mode, ablation_mv_graph,
+    ablation_pipeline, ablation_streaming, fig5_block_size, fig6_contention, fig7_geo,
+    measure_point, peak_search, ExperimentScale, Point,
 };
 pub use explore_cmd::{default_seed_file, explore_one, explore_sweep, load_seed_file};
 pub use recover::{default_data_dir, recover_demo};

@@ -9,7 +9,8 @@ use parblock_crypto::{KeyRegistry, SignerId};
 use parblock_depgraph::DependencyMode;
 use parblock_net::{DcId, Topology};
 use parblock_types::{
-    AppId, BlockCutConfig, ClientId, CommitPolicy, DurabilityConfig, ExecutionCosts, NodeId,
+    AppId, BlockCutConfig, ClientId, CommitPolicy, DurabilityConfig, ExecutionCosts,
+    ExecutionMode, NodeId,
 };
 use parblock_workload::WorkloadConfig;
 
@@ -140,6 +141,16 @@ fn env_pipeline_depth() -> usize {
         .unwrap_or(2)
 }
 
+/// The default execution mode: the `PARBLOCK_EXEC_MODE` environment
+/// variable when it parses (`pessimistic` / `optimistic` / `hybrid` —
+/// the CI test matrix sets it), pessimistic otherwise.
+fn env_exec_mode() -> ExecutionMode {
+    std::env::var("PARBLOCK_EXEC_MODE")
+        .ok()
+        .and_then(|raw| ExecutionMode::parse(&raw))
+        .unwrap_or_default()
+}
+
 /// Datacenter latency model for an experiment.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TopologySpec {
@@ -201,6 +212,15 @@ pub struct ClusterSpec {
     /// `PARBLOCK_PIPELINE_DEPTH` environment variable when set (the CI
     /// test matrix pins 1 and 4); values below 1 are treated as 1.
     pub exec_pipeline_depth: usize,
+    /// How OXII executors schedule a block's transactions: the paper's
+    /// pessimistic dependency-graph engine, the Block-STM optimistic
+    /// engine (speculate / validate / re-execute), or a per-block hybrid
+    /// choice driven by the shipped graph's conflict density. Both
+    /// engines commit byte-identical ledgers and states; the mode is a
+    /// performance knob (`repro ablation-mode`). Defaults to the
+    /// `PARBLOCK_EXEC_MODE` environment variable when set (the CI test
+    /// matrix pins all three spellings), pessimistic otherwise.
+    pub execution_mode: ExecutionMode,
     /// τ(A) override: matching results required to commit a transaction.
     /// `None` (default) requires all of an application's agents; fault
     /// tests lower it so a redundant agent set tolerates a crashed or
@@ -246,6 +266,7 @@ impl ClusterSpec {
             topology: TopologySpec::default(),
             exec_pool: 16,
             exec_pipeline_depth: env_pipeline_depth(),
+            execution_mode: env_exec_mode(),
             commit_quorum: None,
             batch_max: 64,
             consensus_timeout: Duration::from_secs(5),

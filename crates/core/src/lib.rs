@@ -57,6 +57,7 @@ pub use cluster::{
     ClusterSpec, CommitFlush, ConsensusKind, DurabilityMode, GraphConstruction, MovedGroup,
     SystemKind, TopologySpec,
 };
+pub use parblock_types::ExecutionMode;
 pub use metrics::{Metrics, RunReport};
 pub use runner::{run, run_fixed, run_fixed_from, run_fixed_with_faults, LoadSpec};
 pub use sim::{

@@ -72,6 +72,10 @@ impl StateReader for SnapshotReader {
 pub(crate) struct WorkItem {
     pub block: BlockNumber,
     pub seq: SeqNo,
+    /// Which attempt at this position the snapshot belongs to: always 0
+    /// under the pessimistic scheduler; the optimistic engine bumps it on
+    /// every abort/re-execute so stale completions are dropped.
+    pub incarnation: u32,
     pub tx: Transaction,
     pub snapshot: SnapshotReader,
     pub contract: Arc<dyn SmartContract>,
@@ -82,6 +86,8 @@ pub(crate) struct WorkItem {
 pub(crate) struct Completion {
     pub block: BlockNumber,
     pub seq: SeqNo,
+    /// Echo of [`WorkItem::incarnation`].
+    pub incarnation: u32,
     pub result: ExecResult,
 }
 
@@ -107,6 +113,7 @@ fn execute_item(item: &WorkItem) -> Completion {
     Completion {
         block: item.block,
         seq: item.seq,
+        incarnation: item.incarnation,
         result,
     }
 }
@@ -280,6 +287,7 @@ mod tests {
         pool.dispatch(WorkItem {
             block: BlockNumber(1),
             seq: SeqNo(0),
+            incarnation: 0,
             tx,
             snapshot: SnapshotReader::new(entries),
             contract,
@@ -335,6 +343,7 @@ mod tests {
             WorkItem {
                 block: BlockNumber(1),
                 seq: SeqNo(seq),
+                incarnation: 0,
                 tx,
                 snapshot: SnapshotReader::new(HashMap::from([
                     (Key(1), Some(Value::Int(10))),
@@ -377,6 +386,7 @@ mod tests {
         pool.dispatch(WorkItem {
             block: BlockNumber(1),
             seq: SeqNo(3),
+            incarnation: 0,
             tx,
             snapshot: SnapshotReader::new(HashMap::from([(Key(1), None), (Key(2), None)])),
             contract,
@@ -413,6 +423,7 @@ mod tests {
         pool.dispatch(WorkItem {
             block: BlockNumber(1),
             seq: SeqNo(0),
+            incarnation: 0,
             tx,
             snapshot: SnapshotReader::new(HashMap::from([(Key(1), Some(Value::Int(100)))])),
             contract,

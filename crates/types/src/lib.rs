@@ -30,7 +30,9 @@ pub mod wire;
 
 pub use block::{Block, BlockHeader, Hash32};
 pub use clock::Clock;
-pub use config::{BlockCutConfig, CommitPolicy, DurabilityConfig, ExecutionCosts, SystemConfig};
+pub use config::{
+    BlockCutConfig, CommitPolicy, DurabilityConfig, ExecutionCosts, ExecutionMode, SystemConfig,
+};
 pub use error::TypeError;
 pub use ids::{AppId, BlockNumber, ClientId, NodeId, Role, SeqNo, TxId};
 pub use rwset::{Key, RwSet};

@@ -1,0 +1,178 @@
+//! Three-way execution-mode equivalence suite (DESIGN.md §11): the
+//! pessimistic dependency-graph scheduler (the paper's Algorithm 1), the
+//! optimistic Block-STM engine, and the per-block hybrid must be
+//! **observationally indistinguishable** — same blocks in the same order
+//! (equal ledger head hashes) and byte-equal final state (equal state
+//! digests) — across contention levels and pipeline depths. Speculation,
+//! aborts and re-executions may differ wildly between engines; anything
+//! a client, a replica, or the ledger can see may not.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use parblockchain::{
+    run_fixed, run_sim, ClusterSpec, ExecutionMode, RunReport, SimConfig, SystemKind,
+};
+use parblockchain_repro as _;
+
+const MODES: [ExecutionMode; 3] = ExecutionMode::ALL;
+
+fn mode_spec(mode: ExecutionMode, contention: f64, depth: usize) -> ClusterSpec {
+    let mut spec = ClusterSpec::new(SystemKind::Oxii);
+    // Count cuts: block boundaries (and thus ledger hashes) must not
+    // depend on timing, mirroring `tests/pipeline_equivalence.rs`.
+    spec.block_cut = parblockchain_repro::types::BlockCutConfig {
+        max_txns: 25,
+        max_bytes: usize::MAX,
+        max_wait: Duration::from_secs(5),
+    };
+    spec.costs = parblockchain_repro::types::ExecutionCosts::per_tx(Duration::from_micros(50));
+    spec.topology.intra = Duration::from_micros(50);
+    spec.exec_pool = 4;
+    spec.exec_pipeline_depth = depth;
+    spec.workload.contention = contention;
+    spec.capture_state = true;
+    // Explicit, so the suite's grid is immune to `PARBLOCK_EXEC_MODE`.
+    spec.execution_mode = mode;
+    spec
+}
+
+fn heads(report: &RunReport, label: &str) -> (parblock_types::Hash32, parblock_types::Hash32) {
+    (
+        report.ledger_head.unwrap_or_else(|| panic!("{label}: no ledger head")),
+        report.state_digest.unwrap_or_else(|| panic!("{label}: no state digest")),
+    )
+}
+
+/// The full grid under the deterministic scheduler: 3 modes × contention
+/// {0, 0.5, 0.9} × pipeline depth {1, 2} commit every transaction with
+/// byte-identical ledger heads and state digests.
+#[test]
+fn all_modes_agree_across_contention_and_depth_in_simulation() {
+    for contention in [0.0, 0.5, 0.9] {
+        for depth in [1usize, 2] {
+            let mut results = Vec::new();
+            for mode in MODES {
+                let spec = mode_spec(mode, contention, depth);
+                let outcome = run_sim(&SimConfig::new(spec, 100, 2_000.0));
+                let label = format!("mode {mode} contention {contention} depth {depth}");
+                assert!(outcome.completed, "{label}: {:?}", outcome.report);
+                assert_eq!(outcome.report.committed, 100, "{label}");
+                assert_eq!(outcome.report.aborted, 0, "{label}");
+                results.push((mode, heads(&outcome.report, &label)));
+            }
+            let (_, base) = results[0];
+            for (mode, observed) in &results[1..] {
+                assert_eq!(
+                    *observed, base,
+                    "mode {mode} diverged from pessimistic at contention \
+                     {contention}, depth {depth}"
+                );
+            }
+        }
+    }
+}
+
+/// The same three-way agreement holds on the free-running threaded
+/// runner, where completion order is genuinely nondeterministic and the
+/// optimistic engine's abort/re-execution schedule differs run to run.
+#[test]
+fn all_modes_agree_on_the_threaded_runner() {
+    let mut results = Vec::new();
+    for mode in MODES {
+        let spec = mode_spec(mode, 0.9, 2);
+        let report = run_fixed(&spec, 200, 2_000.0, Duration::from_secs(30));
+        assert_eq!(report.committed, 200, "mode {mode}: {report:?}");
+        assert_eq!(report.aborted, 0, "mode {mode}");
+        results.push((mode, heads(&report, &format!("mode {mode}"))));
+    }
+    let (_, base) = results[0];
+    for (mode, observed) in &results[1..] {
+        assert_eq!(*observed, base, "mode {mode} diverged on the threaded runner");
+    }
+}
+
+/// Cross-application contention (mid-block COMMIT exchanges between
+/// agents, τ(A) = 2 voting) is mode-invariant too.
+#[test]
+fn cross_app_and_two_agent_quorum_are_mode_invariant() {
+    let mut results = Vec::new();
+    for mode in MODES {
+        let mut spec = mode_spec(mode, 0.8, 2);
+        spec.workload.cross_app = true;
+        spec.executors_per_app = 2;
+        let outcome = run_sim(&SimConfig::new(spec, 100, 2_000.0));
+        assert!(outcome.completed, "mode {mode}: {:?}", outcome.report);
+        assert_eq!(outcome.report.committed, 100, "mode {mode}");
+        results.push(heads(&outcome.report, &format!("mode {mode}")));
+    }
+    assert_eq!(results[0], results[1], "optimistic diverged under cross-app τ=2");
+    assert_eq!(results[0], results[2], "hybrid diverged under cross-app τ=2");
+}
+
+/// The engines are not secretly the same code path: under hot-key
+/// contention the optimistic engine visibly speculates (validation
+/// checks happen, some fail, incarnations re-execute) while the
+/// pessimistic engine records exactly zero of all three counters.
+#[test]
+fn speculation_counters_separate_the_engines() {
+    let pess = run_sim(&SimConfig::new(
+        mode_spec(ExecutionMode::Pessimistic, 0.9, 2),
+        100,
+        2_000.0,
+    ));
+    assert_eq!(pess.report.validation_passes, 0, "{:?}", pess.report);
+    assert_eq!(pess.report.aborts, 0);
+    assert_eq!(pess.report.re_executions, 0);
+
+    let opt = run_sim(&SimConfig::new(
+        mode_spec(ExecutionMode::Optimistic, 0.9, 2),
+        100,
+        2_000.0,
+    ));
+    assert!(
+        opt.report.validation_passes > 0,
+        "optimistic engine never validated: {:?}",
+        opt.report
+    );
+    assert!(
+        opt.report.aborts > 0,
+        "contention 0.9 should clobber some speculative reads: {:?}",
+        opt.report
+    );
+    assert_eq!(
+        opt.report.aborts, opt.report.re_executions,
+        "every aborted incarnation must be re-dispatched exactly once"
+    );
+}
+
+proptest! {
+    // Each case runs three full simulations; keep the population small
+    // but fresh across runs (proptest persists failures as regressions).
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Seed-randomized equivalence: any workload seed, any sampled
+    /// contention/depth, all three engines produce identical ledger
+    /// heads and state digests.
+    #[test]
+    fn any_seed_is_mode_invariant(
+        seed in 0u64..1_000,
+        contention_idx in 0usize..3,
+        depth in 1usize..3,
+    ) {
+        let contention = [0.0, 0.5, 0.9][contention_idx];
+        let mut results = Vec::new();
+        for mode in MODES {
+            let mut spec = mode_spec(mode, contention, depth);
+            spec.seed = seed;
+            let outcome = run_sim(&SimConfig::new(spec, 75, 2_000.0));
+            prop_assert!(outcome.completed, "mode {} seed {}", mode, seed);
+            prop_assert_eq!(outcome.report.committed, 75);
+            let label = format!("mode {mode} seed {seed}");
+            results.push(heads(&outcome.report, &label));
+        }
+        prop_assert_eq!(results[0], results[1], "optimistic diverged at seed {}", seed);
+        prop_assert_eq!(results[0], results[2], "hybrid diverged at seed {}", seed);
+    }
+}

@@ -13,7 +13,7 @@
 use std::time::Duration;
 
 use parblock_sim as _;
-use parblockchain::{run_sim, ClusterSpec, DurabilityMode, SimConfig, SystemKind};
+use parblockchain::{run_sim, ClusterSpec, DurabilityMode, ExecutionMode, SimConfig, SystemKind};
 use parblockchain_repro as _;
 
 fn time_cut_spec(seed: u64, max_wait_ms: u64) -> ClusterSpec {
@@ -102,4 +102,31 @@ fn pipeline_depths_agree_under_time_cuts_in_simulation() {
         results[0], results[1],
         "pipeline diverged from the barrier under time-driven cuts"
     );
+}
+
+/// The optimistic (Block-STM) engine is bit-reproducible under the
+/// simulated clock even while it is *actively speculating*: at
+/// contention 0.9 some incarnations abort and re-execute, yet two runs
+/// of the same seed agree on the entire `RunReport` — speculation
+/// counters, block boundaries, ledger head, state digest, and all.
+/// (DESIGN.md §11: abort/re-dispatch decisions are pure functions of
+/// the deterministic event order, so speculation adds no entropy.)
+#[test]
+fn optimistic_speculation_is_bit_reproducible() {
+    let mut spec = time_cut_spec(31, 10);
+    spec.workload.contention = 0.9;
+    spec.execution_mode = ExecutionMode::Optimistic;
+    let config = SimConfig::new(spec, 120, 2_000.0);
+    let a = run_sim(&config);
+    let b = run_sim(&config);
+    assert!(a.completed, "{:?}", a.report);
+    assert_eq!(a.report.committed, 120);
+    assert!(
+        a.report.aborts > 0 && a.report.re_executions > 0,
+        "the run must actually speculate to be a meaningful witness: {:?}",
+        a.report
+    );
+    assert_eq!(a.report, b.report, "speculation leaked nondeterminism");
+    assert_eq!(a.report.digest(), b.report.digest());
+    assert_eq!(a.observer_chain, b.observer_chain);
 }
