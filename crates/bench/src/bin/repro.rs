@@ -20,6 +20,9 @@
 //!                            # oracles (+ pinned regression seeds)
 //! repro explore --seed 17    # replay one seed twice, assert bit-reproducibility
 //! repro explore --no-faults  # pure schedule exploration, faults disabled
+//! repro lint                 # workspace static analysis: rwset coverage +
+//!                            # determinism lints (exit 1 on any violation)
+//! repro lint --json          # machine-readable findings for CI annotations
 //! repro all                  # everything
 //! repro all --full           # everything, longer measurement points
 //! ```
@@ -158,6 +161,28 @@ fn main() {
             println!("(cluster stores under {})", data_dir.display());
             emit("recover", &recover_demo(&data_dir));
         }
+        "lint" => {
+            let cwd = std::env::current_dir().expect("cwd");
+            let Some(root) = parblock_lint::find_workspace_root(&cwd) else {
+                eprintln!("lint: no workspace root found above {}", cwd.display());
+                std::process::exit(2);
+            };
+            let report = match parblock_lint::run_workspace(&root) {
+                Ok(report) => report,
+                Err(e) => {
+                    eprintln!("lint: {e}");
+                    std::process::exit(2);
+                }
+            };
+            if args.iter().any(|a| a == "--json") {
+                print!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_text());
+            }
+            if !report.is_clean() {
+                std::process::exit(1);
+            }
+        }
         "all" => {
             run_fig5(scale);
             run_fig6(None, scale);
@@ -172,7 +197,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown command: {other}");
-            eprintln!("usage: repro [fig5|fig6|fig7|ablation-commit|ablation-mv|ablation-streaming|ablation-pipeline|ablation-durability|ablation-mode|recover|explore|all] [--contention N] [--move GROUP] [--data-dir DIR] [--full] [--seeds N] [--seed K] [--seed-file PATH] [--count N] [--no-faults]");
+            eprintln!("usage: repro [fig5|fig6|fig7|ablation-commit|ablation-mv|ablation-streaming|ablation-pipeline|ablation-durability|ablation-mode|recover|explore|lint|all] [--contention N] [--move GROUP] [--data-dir DIR] [--full] [--seeds N] [--seed K] [--seed-file PATH] [--count N] [--no-faults] [--json]");
             std::process::exit(2);
         }
     }

@@ -5,7 +5,7 @@
 use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use parblock_net::Endpoint;
 use parblock_types::wire::Wire;
@@ -75,19 +75,19 @@ fn run_driver_inner(
     let per_tick = rate_tps * TICK.as_secs_f64();
     let mut acc = 0.0f64;
     let mut sent = 0usize;
-    let start = Instant::now();
+    let start = shared.clock.now();
 
     loop {
         if shared.stop.load(Ordering::Relaxed) {
             return;
         }
-        if duration.is_some_and(|d| start.elapsed() >= d) {
+        if duration.is_some_and(|d| shared.clock.now().duration_since(start) >= d) {
             return;
         }
         if count.is_some_and(|c| sent >= c) {
             return;
         }
-        let tick_start = Instant::now();
+        let tick_start = shared.clock.now();
         acc += per_tick;
         let mut n = acc.floor() as usize;
         acc -= n as f64;
@@ -105,7 +105,7 @@ fn run_driver_inner(
             submit(shared, endpoint, entry, tx);
             sent += 1;
         }
-        let elapsed = tick_start.elapsed();
+        let elapsed = shared.clock.now().duration_since(tick_start);
         if elapsed < TICK {
             std::thread::sleep(TICK - elapsed);
         }

@@ -329,6 +329,8 @@ pub(crate) fn spawn_orderer(
     graph_mode: Option<DependencyMode>,
 ) -> std::thread::JoinHandle<()> {
     let name = format!("orderer-{}", endpoint.id());
+    // lint:allow(thread-spawn) — node threads are the threaded runner's
+    // execution model; the deterministic harness uses the sim scheduler
     std::thread::Builder::new()
         .name(name)
         .spawn(move || Orderer::new(shared, endpoint, protocol, graph_mode).run())

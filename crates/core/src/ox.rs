@@ -144,6 +144,8 @@ pub(crate) fn spawn_peer(
     endpoint: Endpoint<Msg>,
 ) -> std::thread::JoinHandle<()> {
     let name = format!("ox-peer-{}", endpoint.id());
+    // lint:allow(thread-spawn) — node threads are the threaded runner's
+    // execution model; the deterministic harness uses the sim scheduler
     std::thread::Builder::new()
         .name(name)
         .spawn(move || OxPeer::new(shared, endpoint).run())

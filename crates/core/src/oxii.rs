@@ -1382,6 +1382,8 @@ pub(crate) fn spawn_executor(
     endpoint: Endpoint<Msg>,
 ) -> std::thread::JoinHandle<()> {
     let name = format!("executor-{}", endpoint.id());
+    // lint:allow(thread-spawn) — node threads are the threaded runner's
+    // execution model; the deterministic harness uses the sim scheduler
     std::thread::Builder::new()
         .name(name)
         .spawn(move || Executor::new(shared, endpoint).run())

@@ -237,6 +237,8 @@ fn run_fixed_impl(
 
     let script_handle = fault_script.map(|script| {
         let faults = net.faults();
+        // lint:allow(thread-spawn) — the fault script runs beside the threaded
+        // cluster it perturbs; deterministic runs use the sim scheduler instead
         std::thread::Builder::new()
             .name("fault-script".into())
             .spawn(move || script(faults))
@@ -247,8 +249,8 @@ fn run_fixed_impl(
     driver::run_driver_count_from(&shared, &client_endpoint, rate_tps, skip, count);
 
     let expected = count.saturating_sub(skip) as u64;
-    let deadline = std::time::Instant::now() + timeout;
-    while shared.metrics.processed() < expected && std::time::Instant::now() < deadline {
+    let deadline = shared.clock.now() + timeout;
+    while shared.metrics.processed() < expected && shared.clock.now() < deadline {
         std::thread::sleep(Duration::from_millis(5));
     }
     shared.stop.store(true, Ordering::Relaxed);

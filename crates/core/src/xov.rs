@@ -17,7 +17,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use parblock_contracts::ExecOutcome;
 use parblock_crypto::{sha256, Signature};
@@ -316,14 +316,14 @@ pub(crate) fn run_xov_driver(
     let entry = shared.spec.entry_orderer();
     let per_tick = rate_tps * TICK.as_secs_f64();
     let mut acc = 0.0f64;
-    let start = Instant::now();
+    let start = shared.clock.now();
 
     while !shared.stop.load(Ordering::Relaxed) {
-        let in_submit_window = start.elapsed() < duration;
+        let in_submit_window = shared.clock.now().duration_since(start) < duration;
         if !in_submit_window && pending.is_empty() {
             break;
         }
-        let tick_start = Instant::now();
+        let tick_start = shared.clock.now();
         if in_submit_window {
             acc += per_tick;
             let n = acc.floor() as usize;
@@ -345,8 +345,8 @@ pub(crate) fn run_xov_driver(
             }
         }
         // Phase 2: collect endorsements until the tick budget is spent.
-        while tick_start.elapsed() < TICK {
-            let wait = TICK.saturating_sub(tick_start.elapsed());
+        while shared.clock.now().duration_since(tick_start) < TICK {
+            let wait = TICK.saturating_sub(shared.clock.now().duration_since(tick_start));
             let Ok(envelope) = endpoint.recv_timeout(wait.max(Duration::from_micros(50))) else {
                 break;
             };
@@ -409,7 +409,9 @@ pub(crate) fn run_xov_driver(
             }
         }
         // Give up on endorsements only when the run is over.
-        if !in_submit_window && start.elapsed() > duration + Duration::from_secs(5) {
+        if !in_submit_window
+            && shared.clock.now().duration_since(start) > duration + Duration::from_secs(5)
+        {
             break;
         }
     }
@@ -421,6 +423,8 @@ pub(crate) fn spawn_peer(
     endpoint: Endpoint<Msg>,
 ) -> std::thread::JoinHandle<()> {
     let name = format!("xov-peer-{}", endpoint.id());
+    // lint:allow(thread-spawn) — node threads are the threaded runner's
+    // execution model; the deterministic harness uses the sim scheduler
     std::thread::Builder::new()
         .name(name)
         .spawn(move || XovPeer::new(shared, endpoint).run())

@@ -219,6 +219,7 @@ impl MvccState {
     pub fn digest(&self) -> parblock_types::Hash32 {
         crate::kv::digest_entries(
             self.chains
+                // lint:allow(unordered-iter) — digest_entries sorts by key before hashing
                 .iter()
                 .filter_map(|(k, chain)| chain.last().map(|(_, v)| (*k, v))),
         )
@@ -234,6 +235,7 @@ impl MvccState {
     #[must_use]
     pub fn digest_at(&self, horizon: Version) -> parblock_types::Hash32 {
         crate::kv::digest_entries(
+            // lint:allow(unordered-iter) — digest_entries sorts by key before hashing
             self.chains.iter().filter_map(|(k, chain)| {
                 let below = chain.partition_point(|(v, _)| *v <= horizon);
                 below.checked_sub(1).map(|i| (*k, &chain[i].1))

@@ -1,0 +1,414 @@
+//! The determinism lint family (DESIGN.md §12): wall-clock reads,
+//! stray thread spawns, file I/O outside the storage crate, and
+//! unordered-map iteration inside order-sensitive functions.
+//!
+//! All rules match *token sequences* from the comment/string-aware
+//! lexer, so `Instant::now` in a doc comment, a string literal, or
+//! `#[cfg(test)]` code can never trip them.
+
+use crate::lexer::{matching, Tok, TokKind};
+use crate::report::{Finding, Rule};
+
+/// Function-name substrings that mark a function as order-sensitive:
+/// its output feeds digests, the wire format, or dependency-graph
+/// emission, so iteration order inside it must be deterministic.
+const CANONICAL_FN_MARKERS: [&str; 6] = ["digest", "encode", "decode", "emit", "wire", "hash"];
+
+/// Methods that observe a collection in iteration order.
+const ITER_METHODS: [&str; 10] = [
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+    "into_keys",
+    "into_values",
+];
+
+/// Runs every determinism rule over one file's (cfg-test-stripped)
+/// token stream. `path` is workspace-relative with `/` separators and
+/// drives the per-rule exemptions:
+///
+/// - `wall-clock` exempts `crates/types/src/clock.rs` (the one place
+///   allowed to read the machine clock);
+/// - `file-io` exempts `crates/store/` (`parblock_store` owns
+///   durability);
+/// - `thread-spawn` exempts the executor pool and the network engine.
+#[must_use]
+pub fn check_file(path: &str, toks: &[Tok]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if !path.ends_with("crates/types/src/clock.rs") {
+        wall_clock(path, toks, &mut findings);
+    }
+    if !path.ends_with("crates/core/src/pool.rs") && !path.ends_with("crates/network/src/engine.rs")
+    {
+        thread_spawn(path, toks, &mut findings);
+    }
+    if !path.contains("crates/store/") {
+        file_io(path, toks, &mut findings);
+    }
+    unordered_iter(path, toks, &mut findings);
+    findings
+}
+
+/// `true` when `toks[i..]` starts with the path `a :: b`.
+fn is_path2(toks: &[Tok], i: usize, a: &str, b: &str) -> bool {
+    toks.len() > i + 3
+        && toks[i].is_ident(a)
+        && toks[i + 1].is_punct(':')
+        && toks[i + 2].is_punct(':')
+        && toks[i + 3].is_ident(b)
+}
+
+fn wall_clock(path: &str, toks: &[Tok], findings: &mut Vec<Finding>) {
+    for (i, t) in toks.iter().enumerate() {
+        for ty in ["Instant", "SystemTime"] {
+            if t.is_ident(ty) && is_path2(toks, i, ty, "now") {
+                findings.push(Finding::new(
+                    Rule::WallClock,
+                    path,
+                    t.line,
+                    format!(
+                        "`{ty}::now()` outside crates/types/src/clock.rs — \
+                         thread the injected Clock instead"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn thread_spawn(path: &str, toks: &[Tok], findings: &mut Vec<Finding>) {
+    for (i, t) in toks.iter().enumerate() {
+        if is_path2(toks, i, "thread", "spawn") || is_path2(toks, i, "thread", "Builder") {
+            findings.push(Finding::new(
+                Rule::ThreadSpawn,
+                path,
+                t.line,
+                "`thread::spawn` outside the executor pool / network engine \
+                 — threads escape the deterministic simulation harness",
+            ));
+        }
+    }
+}
+
+fn file_io(path: &str, toks: &[Tok], findings: &mut Vec<Finding>) {
+    for (i, t) in toks.iter().enumerate() {
+        let hit = if t.is_ident("fs") && toks.len() > i + 3 && toks[i + 1].is_punct(':') {
+            // Any `fs::<item>` use (std::fs or a `use std::fs;` alias).
+            is_path2(toks, i, "fs", &toks[i + 3].text)
+                .then(|| format!("fs::{}", toks[i + 3].text))
+        } else if ["open", "create", "create_new", "options"]
+            .iter()
+            .any(|m| is_path2(toks, i, "File", m))
+        {
+            Some(format!("File::{}", toks[i + 3].text))
+        } else if is_path2(toks, i, "OpenOptions", "new") {
+            Some("OpenOptions::new".to_string())
+        } else if t.is_punct('.')
+            && toks
+                .get(i + 1)
+                .is_some_and(|m| m.is_ident("sync_all") || m.is_ident("sync_data"))
+            && toks.get(i + 2).is_some_and(|p| p.is_punct('('))
+        {
+            Some(toks[i + 1].text.clone())
+        } else {
+            None
+        };
+        if let Some(what) = hit {
+            findings.push(Finding::new(
+                Rule::FileIo,
+                path,
+                t.line,
+                format!("file I/O (`{what}`) outside parblock_store — durability belongs there"),
+            ));
+        }
+    }
+}
+
+fn is_canonical_fn(path: &str, name: &str) -> bool {
+    // The whole depgraph crate emits dependency graphs, so every one of
+    // its functions is order-sensitive; elsewhere the name decides.
+    path.contains("crates/depgraph/") || CANONICAL_FN_MARKERS.iter().any(|m| name.contains(m))
+}
+
+fn unordered_iter(path: &str, toks: &[Tok], findings: &mut Vec<Finding>) {
+    let hash_names = collect_hash_typed_names(toks);
+    if hash_names.is_empty() {
+        return;
+    }
+    let mut seen_lines = Vec::new();
+    for (fn_name, body) in fn_bodies(toks) {
+        if !is_canonical_fn(path, &fn_name) {
+            continue;
+        }
+        let (b0, b1) = body;
+        for i in b0..b1 {
+            // `recv.iter()` / `self.recv.keys()` / … where `recv` is
+            // known to be a HashMap/HashSet.
+            if toks[i].is_punct('.')
+                && toks
+                    .get(i + 1)
+                    .is_some_and(|m| ITER_METHODS.iter().any(|x| m.is_ident(x)))
+                && toks.get(i + 2).is_some_and(|p| p.is_punct('('))
+                && i > b0
+                && toks[i - 1].kind == TokKind::Ident
+                && hash_names.contains(&toks[i - 1].text)
+                && !seen_lines.contains(&toks[i].line)
+            {
+                seen_lines.push(toks[i].line);
+                findings.push(Finding::new(
+                    Rule::UnorderedIter,
+                    path,
+                    toks[i].line,
+                    format!(
+                        "iteration over unordered `{}` inside order-sensitive fn `{}` \
+                         — sort first or use a BTree collection",
+                        toks[i - 1].text, fn_name
+                    ),
+                ));
+            }
+            // `for pat in <expr mentioning a hash-typed name> {`
+            if toks[i].is_ident("for")
+                && toks.get(i + 1).is_some_and(|t| !t.is_punct('<'))
+                && (i == 0 || !toks[i - 1].is_ident("impl"))
+            {
+                if let Some(line) = for_loop_over_hash(toks, i, b1, &hash_names) {
+                    if !seen_lines.contains(&line) {
+                        seen_lines.push(line);
+                        findings.push(Finding::new(
+                            Rule::UnorderedIter,
+                            path,
+                            line,
+                            format!(
+                                "`for` loop over an unordered collection inside \
+                                 order-sensitive fn `{fn_name}` — sort first or use a \
+                                 BTree collection"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// If the `for` loop starting at `i` iterates an expression that
+/// mentions a hash-typed name, returns the loop's line.
+fn for_loop_over_hash(toks: &[Tok], i: usize, limit: usize, hash_names: &[String]) -> Option<u32> {
+    // Pattern part: scan to `in` at bracket depth 0 (bounded — a `for`
+    // with no `in` nearby is not a loop header).
+    let mut j = i + 1;
+    let mut depth = 0i32;
+    let mut found_in = false;
+    while j < limit && j < i + 48 {
+        match toks[j].text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "in" if depth == 0 && toks[j].kind == TokKind::Ident => {
+                found_in = true;
+                j += 1;
+                break;
+            }
+            "{" | ";" => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    if !found_in {
+        return None;
+    }
+    // Iterated expression: up to `{` at depth 0.
+    let mut depth = 0i32;
+    while j < limit {
+        match toks[j].text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" if depth == 0 => return None,
+            ";" => return None,
+            _ => {}
+        }
+        if toks[j].kind == TokKind::Ident && hash_names.contains(&toks[j].text) {
+            return Some(toks[i].line);
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Collects every name the file declares with a `HashMap`/`HashSet`
+/// type: struct fields and bindings (`entries: HashMap<…>`), and
+/// `let [mut] name = HashMap::new()`-style initializations.
+fn collect_hash_typed_names(toks: &[Tok]) -> Vec<String> {
+    let mut names = Vec::new();
+    for i in 0..toks.len() {
+        if !(toks[i].is_ident("HashMap") || toks[i].is_ident("HashSet")) {
+            continue;
+        }
+        // Strip a leading path qualification (`std :: collections ::`).
+        let mut j = i;
+        while j >= 3
+            && toks[j - 1].is_punct(':')
+            && toks[j - 2].is_punct(':')
+            && toks[j - 3].kind == TokKind::Ident
+        {
+            j -= 3;
+        }
+        // Strip reference/mutability prefixes (`m: &mut HashMap<…>`).
+        while j >= 1
+            && (toks[j - 1].is_punct('&')
+                || toks[j - 1].kind == TokKind::Lifetime
+                || toks[j - 1].is_ident("mut")
+                || toks[j - 1].is_ident("dyn"))
+        {
+            j -= 1;
+        }
+        // `name : HashMap` (field or binding type ascription) — but not
+        // `path :: HashMap`, which the loop above already consumed.
+        if j >= 2 && toks[j - 1].is_punct(':') && toks[j - 2].kind == TokKind::Ident {
+            push_unique(&mut names, &toks[j - 2].text);
+            continue;
+        }
+        // `let [mut] name = HashMap::…`.
+        if j >= 2 && toks[j - 1].is_punct('=') && toks[j - 2].kind == TokKind::Ident {
+            let name = &toks[j - 2].text;
+            let before = if j >= 3 { &toks[j - 3] } else { continue };
+            if before.is_ident("let") || before.is_ident("mut") {
+                push_unique(&mut names, name);
+            }
+        }
+    }
+    names
+}
+
+fn push_unique(names: &mut Vec<String>, name: &str) {
+    if name != "_" && !names.iter().any(|n| n == name) {
+        names.push(name.to_string());
+    }
+}
+
+/// Yields `(name, (body_start, body_end))` for every `fn` with a body,
+/// where the range excludes the braces themselves.
+pub(crate) fn fn_bodies(toks: &[Tok]) -> Vec<(String, (usize, usize))> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < toks.len() {
+        if toks[i].is_ident("fn") && toks[i + 1].kind == TokKind::Ident {
+            let name = toks[i + 1].text.clone();
+            // Find the body `{` at paren/bracket depth 0 (a `;` first
+            // means a trait method declaration without a body).
+            let mut j = i + 2;
+            let mut depth = 0i32;
+            let mut body = None;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" if depth == 0 => {
+                        body = Some(j);
+                        break;
+                    }
+                    ";" if depth == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let Some(open) = body {
+                let close = matching(toks, open);
+                out.push((name, (open + 1, close)));
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        check_file(path, &tokenize(src))
+    }
+
+    #[test]
+    fn flags_instant_and_system_time() {
+        let src = "fn f() { let t = Instant::now(); let u = std::time::SystemTime::now(); }";
+        let findings = run("crates/core/src/x.rs", src);
+        assert_eq!(findings.len(), 2);
+        assert!(findings.iter().all(|f| f.rule == Rule::WallClock));
+    }
+
+    #[test]
+    fn clock_rs_is_exempt_from_wall_clock() {
+        let src = "fn now() { Instant::now(); }";
+        assert!(run("crates/types/src/clock.rs", src).is_empty());
+    }
+
+    #[test]
+    fn flags_thread_spawn_but_not_in_pool() {
+        let src = "fn f() { std::thread::spawn(|| {}); }";
+        assert_eq!(run("crates/core/src/driver.rs", src).len(), 1);
+        assert!(run("crates/core/src/pool.rs", src).is_empty());
+        assert!(run("crates/network/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn flags_fs_and_sync_but_not_in_store() {
+        let src = "fn f() { std::fs::write(\"a\", b\"x\").unwrap(); file.sync_all().unwrap(); }";
+        let findings = run("crates/core/src/x.rs", src);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings.iter().all(|f| f.rule == Rule::FileIo));
+        assert!(run("crates/store/src/wal.rs", src).is_empty());
+    }
+
+    #[test]
+    fn flags_hashmap_iteration_only_in_canonical_fns() {
+        let src = "struct S { entries: HashMap<u64, u64> }\n\
+                   impl S {\n\
+                   fn digest(&self) -> u64 { self.entries.iter().map(|(_, v)| v).sum() }\n\
+                   fn lookup(&self) -> u64 { self.entries.iter().count() as u64 }\n\
+                   }";
+        let findings = run("crates/ledger/src/x.rs", src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, Rule::UnorderedIter);
+        assert_eq!(findings[0].line, 3);
+    }
+
+    #[test]
+    fn flags_for_loop_over_hash_in_encode() {
+        let src = "fn encode(m: &HashMap<u64, u64>, out: &mut Vec<u8>) {\n\
+                   for (k, v) in m { out.push(*k as u8); out.push(*v as u8); }\n\
+                   }";
+        let findings = run("crates/network/src/wire.rs", src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 2);
+    }
+
+    #[test]
+    fn sorted_vec_iteration_in_digest_is_clean() {
+        let src = "fn digest(entries: &[(u64, u64)]) -> u64 {\n\
+                   let mut sorted: Vec<_> = entries.to_vec();\n\
+                   sorted.sort();\n\
+                   sorted.iter().map(|(k, _)| k).sum()\n\
+                   }";
+        assert!(run("crates/ledger/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn depgraph_fns_are_canonical_regardless_of_name() {
+        let src = "fn build(m: HashMap<u64, u64>) { for k in m.keys() { drop(k); } }";
+        assert_eq!(run("crates/depgraph/src/graph.rs", src).len(), 1);
+        assert!(run("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn string_literals_never_trip_rules() {
+        let src = "fn f() { let s = \"Instant::now thread::spawn fs::write\"; drop(s); }";
+        assert!(run("crates/core/src/x.rs", src).is_empty());
+    }
+}

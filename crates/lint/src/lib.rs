@@ -1,0 +1,218 @@
+//! `parblock_lint` — workspace static analysis (DESIGN.md §12).
+//!
+//! Two analyzer families guard the invariants the rest of the system
+//! merely assumes:
+//!
+//! 1. **rwset coverage** ([`rwset`]): a contract's declared read/write
+//!    set must cover every key its `execute` can touch — OXII's
+//!    orderer schedules from declarations alone, so an under-declared
+//!    set silently breaks conflict serializability.
+//! 2. **determinism lints** ([`determinism`]): wall-clock reads,
+//!    stray thread spawns, file I/O outside the storage crate, and
+//!    unordered-map iteration in digest/wire/graph-emission code —
+//!    the preconditions of the bit-reproducible simulation harness.
+//!
+//! Violations are errors unless suppressed by an inline
+//! `// lint:allow(<rule>) — <justification>` marker or the workspace
+//! `lint.allow` file; both are re-verified on every run ([`allow`]),
+//! so a suppression that stops suppressing becomes an error itself.
+//!
+//! The crate is std-only by design: a hand-rolled lexer ([`lexer`])
+//! keeps the gate dependency-free, so it can never be broken by the
+//! code it gates.
+
+pub mod allow;
+pub mod determinism;
+pub mod lexer;
+pub mod report;
+pub mod rwset;
+
+use std::path::{Path, PathBuf};
+
+pub use report::{Finding, Report, Rule};
+
+/// How a file participates in analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// Not analyzed at all: build output, vendored shims, and the lint
+    /// crate's own known-bad fixtures.
+    Skip,
+    /// Integration tests, benches, and examples: exempt from every
+    /// rule (they may spawn threads, read clocks, and write files).
+    TestLike,
+    /// Production code: all rules apply (with `#[cfg(test)]` items
+    /// stripped first).
+    Product,
+}
+
+/// Classifies a workspace-relative path (with `/` separators).
+#[must_use]
+pub fn classify(path: &str) -> FileClass {
+    if path.starts_with("target/")
+        || path.contains("/target/")
+        || path.starts_with("shims/")
+        || path.contains("tests/fixtures/")
+    {
+        return FileClass::Skip;
+    }
+    if path.contains("/tests/")
+        || path.contains("/benches/")
+        || path.contains("/examples/")
+        || path.ends_with("build.rs")
+    {
+        return FileClass::TestLike;
+    }
+    FileClass::Product
+}
+
+/// Lints one source file given its workspace-relative `path` and raw
+/// `src`, applying inline `lint:allow` markers. This is the unit the
+/// fixture tests drive directly; [`run_workspace`] calls it per file
+/// and then applies the `lint.allow` allowlist on top.
+///
+/// Returns `(findings, suppressions_honored)`.
+#[must_use]
+pub fn lint_source(path: &str, src: &str) -> (Vec<Finding>, usize) {
+    match classify(path) {
+        FileClass::Skip | FileClass::TestLike => (Vec::new(), 0),
+        FileClass::Product => {
+            let toks = lexer::strip_cfg_test(&lexer::tokenize(src));
+            let mut findings = determinism::check_file(path, &toks);
+            if path.contains("crates/contracts/src/") {
+                findings.extend(rwset::check_contract_file(path, &toks));
+            }
+            let markers = allow::parse_markers(src);
+            let mut suppressions = 0usize;
+            let findings = allow::apply_markers(path, &markers, findings, &mut suppressions);
+            (findings, suppressions)
+        }
+    }
+}
+
+/// Runs every analyzer over the workspace rooted at `root` and applies
+/// the `lint.allow` allowlist (if present). Findings come back sorted
+/// by `(path, line, rule)`.
+///
+/// # Errors
+/// Propagates I/O errors from walking the tree or reading sources.
+pub fn run_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut report = Report::default();
+    let mut findings = Vec::new();
+    for rel in &files {
+        if classify(rel) != FileClass::Product {
+            continue;
+        }
+        // lint:allow(file-io) — the linter must read the sources it analyzes
+        let src = std::fs::read_to_string(root.join(rel))?;
+        let (file_findings, suppressed) = lint_source(rel, &src);
+        findings.extend(file_findings);
+        report.suppressions += suppressed;
+        report.files_scanned += 1;
+    }
+    // Workspace allowlist, re-verified against the surviving findings.
+    let allow_path = root.join("lint.allow");
+    if allow_path.exists() {
+        // lint:allow(file-io) — the linter must read its own allowlist
+        let src = std::fs::read_to_string(&allow_path)?;
+        let (entries, mut parse_findings) = allow::parse_allowlist("lint.allow", &src);
+        findings =
+            allow::apply_allowlist("lint.allow", &entries, findings, &mut report.suppressions);
+        findings.append(&mut parse_findings);
+    }
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule))
+    });
+    report.findings = findings;
+    Ok(report)
+}
+
+/// Locates the workspace root by walking up from `start` to the first
+/// directory containing a `Cargo.toml` with a `[workspace]` table.
+#[must_use]
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.exists() {
+            // lint:allow(file-io) — workspace-root discovery reads manifests
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(d);
+                }
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Recursively collects `.rs` files as workspace-relative paths with
+/// `/` separators, in a deterministic (sorted) order.
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = Vec::new();
+    // lint:allow(file-io) — the linter must walk the tree it analyzes
+    for entry in std::fs::read_dir(dir)? {
+        entries.push(entry?.path());
+    }
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                let rel = rel
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                out.push(rel);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_tiers() {
+        assert_eq!(classify("crates/core/src/driver.rs"), FileClass::Product);
+        assert_eq!(classify("crates/ledger/tests/mvcc_props.rs"), FileClass::TestLike);
+        assert_eq!(classify("shims/rand/src/lib.rs"), FileClass::Skip);
+        assert_eq!(
+            classify("crates/lint/tests/fixtures/bad_wall_clock.rs"),
+            FileClass::Skip
+        );
+        assert_eq!(classify("target/debug/build/x.rs"), FileClass::Skip);
+    }
+
+    #[test]
+    fn lint_source_end_to_end_with_marker() {
+        let bad = "fn f() { let t = Instant::now(); }";
+        let (findings, n) = lint_source("crates/core/src/x.rs", bad);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(n, 0);
+
+        let allowed =
+            "fn f() {\n    // lint:allow(wall-clock) — measuring real startup latency\n    let t = Instant::now();\n}";
+        let (findings, n) = lint_source("crates/core/src/x.rs", allowed);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn test_like_files_are_exempt() {
+        let bad = "fn f() { thread::spawn(|| Instant::now()); }";
+        let (findings, _) = lint_source("crates/core/tests/e2e.rs", bad);
+        assert!(findings.is_empty());
+    }
+}

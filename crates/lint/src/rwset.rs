@@ -1,0 +1,1134 @@
+//! The rwset-coverage analyzer (DESIGN.md §12): for each contract in
+//! `crates/contracts`, conservatively infer the keys its `execute`
+//! implementation can read (through `StateReader::read`/`try_read`,
+//! directly or via a state-taking helper) and write (into
+//! `ExecOutcome::Commit`), and verify the declared `rw_set` covers
+//! every inferred access path.
+//!
+//! The analysis is symbolic, per enum variant: a key is a *field* of
+//! the operation (`Field("from")`), an *element* of one of its vector
+//! fields (`Elem("sources")`), or a literal. Anything the analyzer
+//! cannot resolve becomes `Unknown`, which is an error — the pass is
+//! conservative in the direction OXII needs (declared ⊇ inferred ⊇
+//! actual; an unanalyzable access can never be silently assumed
+//! covered).
+
+use crate::lexer::{matching, split_commas, Tok, TokKind};
+use crate::report::{Finding, Rule};
+
+/// A symbolic key: how an accessed key relates to the operation's
+/// declared fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Sym {
+    /// A scalar field of the matched variant (`from`, `escrow`, …).
+    Field(String),
+    /// Any element of a vector field (`sources`, `reads`, …).
+    Elem(String),
+    /// A literal key (`Key(7)`).
+    Lit(String),
+    /// An expression the analyzer could not resolve (the payload is a
+    /// short source snippet for the diagnostic).
+    Unknown(String),
+}
+
+impl Sym {
+    fn describe(&self) -> String {
+        match self {
+            Sym::Field(n) => format!("field `{n}`"),
+            Sym::Elem(c) => format!("elements of `{c}`"),
+            Sym::Lit(k) => format!("literal key `{k}`"),
+            Sym::Unknown(what) => format!("unresolvable expression `{what}`"),
+        }
+    }
+}
+
+/// One match arm: the variant it handles, its binders, and its body.
+struct Arm {
+    variant: String,
+    /// Variant-pattern binders (shorthand field names).
+    binders: Vec<String>,
+    /// Token range of the arm body (expression or block interior).
+    body: (usize, usize),
+    line: u32,
+}
+
+/// Binding environment while evaluating key expressions inside an arm.
+#[derive(Default)]
+struct Env {
+    /// Variant-pattern binders → `Field(name)` when used as scalars.
+    fields: Vec<String>,
+    /// Loop/closure binders → the symbols of the iterated collection,
+    /// valid only inside their token-range scope (two closures may
+    /// reuse the same binder name for different collections).
+    elems: Vec<(String, Vec<Sym>, (usize, usize))>,
+    /// `let`-bound locals (declared-side) → their symbols.
+    locals: Vec<(String, Vec<Sym>)>,
+}
+
+impl Env {
+    /// Resolves `name` at token position `pos`. In-scope loop/closure
+    /// binders shadow locals shadow variant fields.
+    fn resolve_syms(&self, name: &str, pos: usize) -> Option<Vec<Sym>> {
+        self.elems
+            .iter()
+            .rev()
+            .find(|(n, _, (lo, hi))| n == name && (*lo..*hi).contains(&pos))
+            .map(|(_, syms, _)| syms.clone())
+            .or_else(|| {
+                self.locals
+                    .iter()
+                    .rev()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, syms)| syms.clone())
+            })
+    }
+
+    fn is_field(&self, name: &str) -> bool {
+        self.fields.iter().any(|n| n == name)
+    }
+}
+
+/// Checks one contract source file. Returns nothing when the file does
+/// not define both a `fn rw_set` and a `fn execute` over the same op
+/// enum (e.g. `traits.rs`).
+#[must_use]
+pub fn check_contract_file(path: &str, toks: &[Tok]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let bodies = crate::determinism::fn_bodies(toks);
+    let Some(&(_, rw_body)) = bodies.iter().find(|(n, _)| n == "rw_set") else {
+        return findings;
+    };
+    let Some(&(_, exec_body)) = bodies.iter().find(|(n, _)| n == "execute") else {
+        return findings;
+    };
+    let Some((enum_name, rw_arms)) = find_enum_match(toks, rw_body, None) else {
+        findings.push(Finding::new(
+            Rule::RwsetCoverage,
+            path,
+            toks[rw_body.0].line,
+            "could not parse the variant match inside `rw_set`",
+        ));
+        return findings;
+    };
+    let Some((_, exec_arms)) = find_enum_match(toks, exec_body, Some(&enum_name)) else {
+        findings.push(Finding::new(
+            Rule::RwsetCoverage,
+            path,
+            toks[exec_body.0].line,
+            format!("could not find the `{enum_name}` match inside `execute`"),
+        ));
+        return findings;
+    };
+    let helpers = collect_state_helpers(toks, &bodies);
+
+    // Declared sets, per variant.
+    let mut declared: Vec<(String, Vec<Sym>, Vec<Sym>)> = Vec::new();
+    for arm in &rw_arms {
+        match declared_sets(toks, arm) {
+            Some((reads, writes)) => declared.push((arm.variant.clone(), reads, writes)),
+            None => findings.push(Finding::new(
+                Rule::RwsetCoverage,
+                path,
+                arm.line,
+                format!(
+                    "no statically analyzable RwSet constructor in the \
+                     `{enum_name}::{}` arm of `rw_set`",
+                    arm.variant
+                ),
+            )),
+        }
+    }
+
+    // Inferred accesses, per execute arm, checked against declarations.
+    for arm in &exec_arms {
+        if arm.variant == "_" {
+            continue;
+        }
+        let Some((_, decl_reads, decl_writes)) =
+            declared.iter().find(|(v, _, _)| *v == arm.variant)
+        else {
+            findings.push(Finding::new(
+                Rule::RwsetCoverage,
+                path,
+                arm.line,
+                format!("`{enum_name}::{}` is executed but has no declared rw_set arm", arm.variant),
+            ));
+            continue;
+        };
+        let (reads, writes) = infer_accesses(toks, arm, &helpers);
+        for (sym, line) in reads {
+            if !covers(decl_reads, &sym) {
+                findings.push(Finding::new(
+                    Rule::RwsetCoverage,
+                    path,
+                    line,
+                    format!(
+                        "read of {} in `{enum_name}::{}` is not covered by the declared read set",
+                        sym.describe(),
+                        arm.variant
+                    ),
+                ));
+            }
+        }
+        for (sym, line) in writes {
+            if !covers(decl_writes, &sym) {
+                findings.push(Finding::new(
+                    Rule::RwsetCoverage,
+                    path,
+                    line,
+                    format!(
+                        "write of {} in `{enum_name}::{}` is not covered by the declared write set",
+                        sym.describe(),
+                        arm.variant
+                    ),
+                ));
+            }
+        }
+    }
+    findings
+}
+
+/// `declared` covers `sym` iff an equal symbol is present. `Unknown`
+/// is never covered (conservative), and an `Unknown` in the declared
+/// set covers nothing.
+fn covers(declared: &[Sym], sym: &Sym) -> bool {
+    !matches!(sym, Sym::Unknown(_)) && declared.contains(sym)
+}
+
+// ---------------------------------------------------------------------
+// Match-arm parsing
+// ---------------------------------------------------------------------
+
+/// Finds a `match` inside `body` whose arms are `Enum::Variant`
+/// patterns (optionally constrained to a specific enum name) and
+/// parses its arms.
+fn find_enum_match(
+    toks: &[Tok],
+    body: (usize, usize),
+    want_enum: Option<&str>,
+) -> Option<(String, Vec<Arm>)> {
+    let (b0, b1) = body;
+    let mut i = b0;
+    while i < b1 {
+        if toks[i].is_ident("match") {
+            // Scrutinee runs to the `{` at depth 0.
+            let mut j = i + 1;
+            let mut depth = 0i32;
+            while j < b1 {
+                match toks[j].text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" if depth == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if j < b1 {
+                let close = matching(toks, j);
+                if let Some(parsed) = parse_arms(toks, j + 1, close) {
+                    let (enum_name, arms) = parsed;
+                    if want_enum.is_none_or(|w| w == enum_name) {
+                        return Some((enum_name.to_string(), arms));
+                    }
+                }
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Parses `Enum::Variant { binders } => body,` arms in `(start, end)`.
+/// Returns the shared enum qualifier and the arms, or `None` when the
+/// arms are not enum-path patterns.
+fn parse_arms(toks: &[Tok], start: usize, end: usize) -> Option<(&str, Vec<Arm>)> {
+    let mut arms = Vec::new();
+    let mut enum_name: Option<&str> = None;
+    let mut i = start;
+    while i < end {
+        let line = toks[i].line;
+        // Pattern: `_`, or `Path :: Variant` + optional `{…}` / `(…)`.
+        let variant;
+        let mut binders = Vec::new();
+        if toks[i].is_ident("_") {
+            variant = "_".to_string();
+            i += 1;
+        } else if toks[i].kind == TokKind::Ident {
+            // Collect the `::`-separated path.
+            let mut path_idents = vec![i];
+            let mut j = i + 1;
+            while j + 2 < end
+                && toks[j].is_punct(':')
+                && toks[j + 1].is_punct(':')
+                && toks[j + 2].kind == TokKind::Ident
+            {
+                path_idents.push(j + 2);
+                j += 3;
+            }
+            if path_idents.len() < 2 {
+                return None;
+            }
+            let qualifier = &toks[path_idents[0]].text;
+            match enum_name {
+                None => enum_name = Some(qualifier),
+                Some(e) if e == qualifier => {}
+                Some(_) => return None,
+            }
+            variant = toks[*path_idents.last().unwrap()].text.clone();
+            // Optional binder block.
+            if j < end && (toks[j].is_punct('{') || toks[j].is_punct('(')) {
+                let bclose = matching(toks, j);
+                for tok in toks.iter().take(bclose).skip(j + 1) {
+                    if tok.kind == TokKind::Ident
+                        && !tok.is_ident("mut")
+                        && !tok.is_ident("ref")
+                    {
+                        binders.push(tok.text.clone());
+                    }
+                }
+                j = bclose + 1;
+            }
+            i = j;
+        } else {
+            return None;
+        }
+        // `=>`.
+        if !(i + 1 < end && toks[i].is_punct('=') && toks[i + 1].is_punct('>')) {
+            return None;
+        }
+        i += 2;
+        // Body: a block, or an expression up to the `,` at depth 0.
+        let body;
+        if i < end && toks[i].is_punct('{') {
+            let bclose = matching(toks, i);
+            body = (i + 1, bclose);
+            i = bclose + 1;
+            if i < end && toks[i].is_punct(',') {
+                i += 1;
+            }
+        } else {
+            let expr_start = i;
+            let mut depth = 0i32;
+            while i < end {
+                match toks[i].text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    "," if depth == 0 => break,
+                    _ => {}
+                }
+                i += 1;
+            }
+            body = (expr_start, i);
+            if i < end {
+                i += 1; // consume the comma
+            }
+        }
+        arms.push(Arm {
+            variant,
+            binders,
+            body,
+            line,
+        });
+    }
+    enum_name.map(|e| (e, arms))
+}
+
+// ---------------------------------------------------------------------
+// Declared side: `rw_set`
+// ---------------------------------------------------------------------
+
+/// Evaluates one `rw_set` arm to its declared (reads, writes) symbols.
+fn declared_sets(toks: &[Tok], arm: &Arm) -> Option<(Vec<Sym>, Vec<Sym>)> {
+    let mut env = Env {
+        fields: arm.binders.clone(),
+        ..Env::default()
+    };
+    let (b0, b1) = arm.body;
+    // Single-level `let` resolution (e.g. `let keys: Vec<Key> = …;`).
+    let mut i = b0;
+    while i < b1 {
+        if toks[i].is_ident("let") {
+            let mut j = i + 1;
+            if j < b1 && toks[j].is_ident("mut") {
+                j += 1;
+            }
+            if j < b1 && toks[j].kind == TokKind::Ident {
+                let name = toks[j].text.clone();
+                // Skip an optional `: Type` to the `=` at depth 0.
+                let mut depth = 0i32;
+                let mut k = j + 1;
+                while k < b1 {
+                    match toks[k].text.as_str() {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => depth -= 1,
+                        "=" if depth == 0 => break,
+                        ";" if depth == 0 => break,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                if k < b1 && toks[k].is_punct('=') {
+                    let expr_start = k + 1;
+                    let mut depth = 0i32;
+                    let mut e = expr_start;
+                    while e < b1 {
+                        match toks[e].text.as_str() {
+                            "(" | "[" | "{" => depth += 1,
+                            ")" | "]" | "}" => depth -= 1,
+                            ";" if depth == 0 => break,
+                            _ => {}
+                        }
+                        e += 1;
+                    }
+                    let syms = eval_keys(toks, expr_start, e, &env)
+                        .into_iter()
+                        .map(|(s, _)| s)
+                        .collect();
+                    env.locals.push((name, syms));
+                    i = e;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    // The RwSet constructor call.
+    let mut i = b0;
+    while i + 3 < b1 {
+        if toks[i].is_ident("RwSet")
+            && toks[i + 1].is_punct(':')
+            && toks[i + 2].is_punct(':')
+            && toks[i + 3].kind == TokKind::Ident
+            && toks.get(i + 4).is_some_and(|t| t.is_punct('('))
+        {
+            let ctor = toks[i + 3].text.as_str();
+            let close = matching(toks, i + 4);
+            let args = split_commas(toks, i + 5, close);
+            let eval_arg = |a: Option<&(usize, usize)>| -> Vec<Sym> {
+                a.map(|&(lo, hi)| {
+                    eval_keys(toks, lo, hi, &env)
+                        .into_iter()
+                        .map(|(s, _)| s)
+                        .collect()
+                })
+                .unwrap_or_default()
+            };
+            return match ctor {
+                "new" => Some((eval_arg(args.first()), eval_arg(args.get(1)))),
+                "read_only" => Some((eval_arg(args.first()), Vec::new())),
+                "write_only" => Some((Vec::new(), eval_arg(args.first()))),
+                _ => None,
+            };
+        }
+        i += 1;
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// Inferred side: `execute`
+// ---------------------------------------------------------------------
+
+/// A helper function that takes the state reader: maps its name to the
+/// indices of parameters it passes to `read`/`try_read`.
+struct StateHelper {
+    name: String,
+    key_params: Vec<usize>,
+}
+
+fn collect_state_helpers(
+    toks: &[Tok],
+    bodies: &[(String, (usize, usize))],
+) -> Vec<StateHelper> {
+    let mut helpers = Vec::new();
+    for (name, &(b0, b1)) in bodies.iter().map(|(n, b)| (n, b)) {
+        if name == "execute" {
+            continue;
+        }
+        // Parameter list: the `(…)` right before the body.
+        let Some(open) = (0..b0.saturating_sub(1))
+            .rev()
+            .find(|&k| toks[k].is_punct('(') && matching(toks, k) < b0)
+            .filter(|&k| {
+                let close = matching(toks, k);
+                // The param list is the paren group whose close is just
+                // before the body (allowing `-> Type` in between).
+                close < b0 && (close + 1..b0 - 1).all(|m| !toks[m].is_punct('{'))
+            })
+        else {
+            continue;
+        };
+        let close = matching(toks, open);
+        let mut params = Vec::new();
+        let mut takes_state = false;
+        for (lo, hi) in split_commas(toks, open + 1, close) {
+            let mut p = lo;
+            while p < hi && (toks[p].is_punct('&') || toks[p].is_ident("mut")) {
+                p += 1;
+            }
+            if p < hi && toks[p].kind == TokKind::Ident {
+                params.push(toks[p].text.clone());
+            }
+            if (lo..hi).any(|k| toks[k].is_ident("StateReader")) {
+                takes_state = true;
+            }
+        }
+        if !takes_state {
+            continue;
+        }
+        // Which params reach `read`/`try_read` inside the body?
+        let mut key_params = Vec::new();
+        let mut i = b0;
+        while i + 3 < b1 {
+            if toks[i].is_punct('.')
+                && (toks[i + 1].is_ident("read") || toks[i + 1].is_ident("try_read"))
+                && toks[i + 2].is_punct('(')
+            {
+                let aclose = matching(toks, i + 2);
+                for tok in toks.iter().take(aclose).skip(i + 3) {
+                    if tok.kind == TokKind::Ident {
+                        if let Some(idx) = params.iter().position(|p| *p == tok.text) {
+                            if !key_params.contains(&idx) {
+                                key_params.push(idx);
+                            }
+                        }
+                    }
+                }
+                i = aclose;
+            }
+            i += 1;
+        }
+        if !key_params.is_empty() {
+            helpers.push(StateHelper {
+                name: name.clone(),
+                key_params,
+            });
+        }
+    }
+    helpers
+}
+
+/// Infers the (reads, writes) of one `execute` arm, each symbol tagged
+/// with the source line of the access.
+#[allow(clippy::type_complexity)]
+fn infer_accesses(
+    toks: &[Tok],
+    arm: &Arm,
+    helpers: &[StateHelper],
+) -> (Vec<(Sym, u32)>, Vec<(Sym, u32)>) {
+    let mut env = Env {
+        fields: arm.binders.clone(),
+        ..Env::default()
+    };
+    let (b0, b1) = arm.body;
+
+    // Pre-pass 1: loop and closure binders become element symbols of
+    // the collection they iterate, scoped to the loop body / closure
+    // call so reused binder names (`|k| …` twice) cannot collide.
+    let mut i = b0;
+    while i < b1 {
+        if toks[i].is_ident("for") && toks.get(i + 1).is_some_and(|t| !t.is_punct('<')) {
+            if let Some((pat_idents, coll, scope)) = parse_for_header(toks, i, b1) {
+                let syms = collection_syms(&coll, &env, i);
+                for p in pat_idents {
+                    env.elems.push((p, syms.clone(), scope));
+                }
+            }
+        }
+        // `name.iter().map(|pat| …)` / `.for_each(|pat| …)` etc.
+        if toks[i].kind == TokKind::Ident
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('.'))
+            && toks
+                .get(i + 2)
+                .is_some_and(|t| t.is_ident("iter") || t.is_ident("into_iter"))
+            && toks.get(i + 3).is_some_and(|t| t.is_punct('('))
+            && toks.get(i + 4).is_some_and(|t| t.is_punct(')'))
+            && toks.get(i + 5).is_some_and(|t| t.is_punct('.'))
+            && toks.get(i + 7).is_some_and(|t| t.is_punct('('))
+            && toks.get(i + 8).is_some_and(|t| t.is_punct('|'))
+        {
+            let coll = toks[i].text.clone();
+            let syms = collection_syms(&coll, &env, i);
+            let scope = (i + 8, matching(toks, i + 7));
+            let mut k = i + 9;
+            while k < b1 && !toks[k].is_punct('|') {
+                if toks[k].kind == TokKind::Ident && !toks[k].is_ident("mut") {
+                    env.elems.push((toks[k].text.clone(), syms.clone(), scope));
+                }
+                k += 1;
+            }
+        }
+        i += 1;
+    }
+
+    // Pre-pass 2: local accumulator vectors and their pushed keys.
+    let mut vec_locals: Vec<String> = Vec::new();
+    let mut i = b0;
+    while i + 3 < b1 {
+        if toks[i].is_ident("let")
+            && toks[i + 1].is_ident("mut")
+            && toks[i + 2].kind == TokKind::Ident
+            && toks[i + 3].is_punct('=')
+            && toks.get(i + 4).is_some_and(|t| t.is_ident("Vec") || t.is_ident("vec"))
+        {
+            vec_locals.push(toks[i + 2].text.clone());
+        }
+        i += 1;
+    }
+    let mut pushes: Vec<(String, Vec<(Sym, u32)>)> =
+        vec_locals.iter().map(|n| (n.clone(), Vec::new())).collect();
+    let mut i = b0;
+    while i + 3 < b1 {
+        if toks[i].kind == TokKind::Ident
+            && toks[i + 1].is_punct('.')
+            && toks[i + 2].is_ident("push")
+            && toks[i + 3].is_punct('(')
+        {
+            if let Some(slot) = pushes.iter_mut().find(|(n, _)| *n == toks[i].text) {
+                let aclose = matching(toks, i + 3);
+                let keys = if toks.get(i + 4).is_some_and(|t| t.is_punct('(')) {
+                    // push((K, V)): evaluate the tuple's first component.
+                    let tclose = matching(toks, i + 4);
+                    let parts = split_commas(toks, i + 5, tclose);
+                    parts
+                        .first()
+                        .map(|&(lo, hi)| eval_keys(toks, lo, hi, &env))
+                        .unwrap_or_default()
+                } else {
+                    vec![(
+                        Sym::Unknown(snippet(toks, i + 4, aclose)),
+                        toks[i].line,
+                    )]
+                };
+                slot.1.extend(keys);
+                i = aclose;
+            }
+        }
+        i += 1;
+    }
+
+    // Reads: `state.read(…)` / `state.try_read(…)` and helper calls.
+    let mut reads = Vec::new();
+    let mut i = b0;
+    while i < b1 {
+        if i + 3 < b1
+            && toks[i].is_ident("state")
+            && toks[i + 1].is_punct('.')
+            && (toks[i + 2].is_ident("read") || toks[i + 2].is_ident("try_read"))
+            && toks[i + 3].is_punct('(')
+        {
+            let aclose = matching(toks, i + 3);
+            reads.extend(eval_keys(toks, i + 4, aclose, &env));
+            i += 4; // keep scanning inside the args (nested reads)
+            continue;
+        }
+        if toks[i].kind == TokKind::Ident && toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            if let Some(h) = helpers.iter().find(|h| h.name == toks[i].text) {
+                let aclose = matching(toks, i + 1);
+                let args = split_commas(toks, i + 2, aclose);
+                for &idx in &h.key_params {
+                    if let Some(&(lo, hi)) = args.get(idx) {
+                        reads.extend(eval_keys(toks, lo, hi, &env));
+                    } else {
+                        reads.push((
+                            Sym::Unknown(format!("{}(… missing arg {idx})", h.name)),
+                            toks[i].line,
+                        ));
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+
+    // Writes: every `ExecOutcome::Commit(…)`.
+    let mut writes = Vec::new();
+    let mut i = b0;
+    while i + 5 < b1 {
+        if toks[i].is_ident("ExecOutcome")
+            && toks[i + 1].is_punct(':')
+            && toks[i + 2].is_punct(':')
+            && toks[i + 3].is_ident("Commit")
+            && toks[i + 4].is_punct('(')
+        {
+            let aclose = matching(toks, i + 4);
+            writes.extend(eval_commit(toks, i + 5, aclose, &env, &pushes));
+            i = aclose;
+        }
+        i += 1;
+    }
+    (reads, writes)
+}
+
+/// Parses a `for PAT in EXPR {` header: returns the pattern's binder
+/// idents, the head identifier of the iterated expression, and the
+/// token range of the loop body (the binders' scope).
+#[allow(clippy::type_complexity)]
+fn parse_for_header(
+    toks: &[Tok],
+    i: usize,
+    limit: usize,
+) -> Option<(Vec<String>, String, (usize, usize))> {
+    let mut pat_idents = Vec::new();
+    let mut j = i + 1;
+    let mut depth = 0i32;
+    let mut found_in = false;
+    while j < limit && j < i + 48 {
+        match toks[j].text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "in" if depth == 0 && toks[j].kind == TokKind::Ident => {
+                found_in = true;
+                j += 1;
+                break;
+            }
+            "{" | ";" => return None,
+            _ => {
+                if toks[j].kind == TokKind::Ident && !toks[j].is_ident("mut") {
+                    pat_idents.push(toks[j].text.clone());
+                }
+            }
+        }
+        j += 1;
+    }
+    if !found_in {
+        return None;
+    }
+    while j < limit && (toks[j].is_punct('&') || toks[j].is_ident("mut")) {
+        j += 1;
+    }
+    if !(j < limit && toks[j].kind == TokKind::Ident) {
+        return None;
+    }
+    let coll = toks[j].text.clone();
+    // Loop body: the `{` at depth 0 after the iterated expression.
+    let mut depth = 0i32;
+    while j < limit {
+        match toks[j].text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" if depth == 0 => {
+                return Some((pat_idents, coll, (j + 1, matching(toks, j))));
+            }
+            ";" => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// The element symbols produced by iterating collection `name` (seen
+/// at token position `pos`).
+fn collection_syms(name: &str, env: &Env, pos: usize) -> Vec<Sym> {
+    if let Some(syms) = env.resolve_syms(name, pos) {
+        syms
+    } else if env.is_field(name) {
+        vec![Sym::Elem(name.to_string())]
+    } else {
+        vec![Sym::Unknown(format!("iteration over `{name}`"))]
+    }
+}
+
+/// Evaluates a key expression to its symbols (with source lines).
+fn eval_keys(toks: &[Tok], mut lo: usize, mut hi: usize, env: &Env) -> Vec<(Sym, u32)> {
+    while lo < hi && (toks[lo].is_punct('&') || toks[lo].is_punct('*')) {
+        lo += 1;
+    }
+    // Tolerate the trailing comma of multiline call formatting.
+    while hi > lo && toks[hi - 1].is_punct(',') {
+        hi -= 1;
+    }
+    if lo >= hi {
+        return Vec::new();
+    }
+    let line = toks[lo].line;
+    // `[a, b, …]` array literal.
+    if toks[lo].is_punct('[') {
+        let close = matching(toks, lo);
+        return split_commas(toks, lo + 1, close)
+            .into_iter()
+            .flat_map(|(a, b)| eval_keys(toks, a, b, env))
+            .collect();
+    }
+    // `vec![…]`.
+    if toks[lo].is_ident("vec")
+        && toks.get(lo + 1).is_some_and(|t| t.is_punct('!'))
+        && toks.get(lo + 2).is_some_and(|t| t.is_punct('['))
+    {
+        let close = matching(toks, lo + 2);
+        return split_commas(toks, lo + 3, close)
+            .into_iter()
+            .flat_map(|(a, b)| eval_keys(toks, a, b, env))
+            .collect();
+    }
+    // `Vec::new()` / `Vec::with_capacity(…)` → empty.
+    if toks[lo].is_ident("Vec") {
+        return Vec::new();
+    }
+    // `Key(LIT)`.
+    if toks[lo].is_ident("Key")
+        && toks.get(lo + 1).is_some_and(|t| t.is_punct('('))
+        && toks.get(lo + 2).is_some_and(|t| t.kind == TokKind::Num)
+    {
+        return vec![(Sym::Lit(toks[lo + 2].text.clone()), line)];
+    }
+    if toks[lo].kind != TokKind::Ident {
+        return vec![(Sym::Unknown(snippet(toks, lo, hi)), line)];
+    }
+    let name = toks[lo].text.clone();
+    let head_is_field = env.is_field(&name) && env.resolve_syms(&name, lo).is_none();
+    let mut cur: Vec<Sym> = if let Some(syms) = env.resolve_syms(&name, lo) {
+        syms
+    } else if head_is_field {
+        vec![Sym::Field(name.clone())]
+    } else {
+        vec![Sym::Unknown(name.clone())]
+    };
+    let mut i = lo + 1;
+    if i >= hi {
+        return cur.into_iter().map(|s| (s, line)).collect();
+    }
+    // Method chain.
+    let mut iterated = false;
+    while i < hi && toks[i].is_punct('.') {
+        let Some(method) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+            return vec![(Sym::Unknown(snippet(toks, lo, hi)), line)];
+        };
+        let Some(open) = (i + 2 < hi && toks[i + 2].is_punct('(')).then_some(i + 2) else {
+            return vec![(Sym::Unknown(snippet(toks, lo, hi)), line)];
+        };
+        let close = matching(toks, open);
+        match method.text.as_str() {
+            "iter" | "into_iter" | "iter_mut" => {
+                if head_is_field && !iterated {
+                    cur = vec![Sym::Elem(name.clone())];
+                }
+                iterated = true;
+            }
+            "copied" | "cloned" | "collect" | "clone" | "to_vec" => {}
+            "map" => {
+                if !closure_preserves_element(toks, open + 1, close) {
+                    return vec![(Sym::Unknown(snippet(toks, lo, hi)), line)];
+                }
+            }
+            "chain" => {
+                cur.extend(
+                    eval_keys(toks, open + 1, close, env)
+                        .into_iter()
+                        .map(|(s, _)| s),
+                );
+            }
+            _ => return vec![(Sym::Unknown(snippet(toks, lo, hi)), line)],
+        }
+        i = close + 1;
+    }
+    if i < hi {
+        return vec![(Sym::Unknown(snippet(toks, lo, hi)), line)];
+    }
+    cur.into_iter().map(|s| (s, line)).collect()
+}
+
+/// Whether a `.map(|pat| body)` closure in `(start, end)` is a pure
+/// element projection (returns one of its binders, a deref of one, or
+/// a tuple whose first component is one — the shapes the contracts
+/// use), so the chain's element identity is preserved.
+fn closure_preserves_element(toks: &[Tok], start: usize, end: usize) -> bool {
+    if start >= end || !toks[start].is_punct('|') {
+        return false;
+    }
+    let mut j = start + 1;
+    let mut binders = Vec::new();
+    while j < end && !toks[j].is_punct('|') {
+        if toks[j].kind == TokKind::Ident && !toks[j].is_ident("mut") {
+            binders.push(toks[j].text.as_str());
+        }
+        j += 1;
+    }
+    if j >= end {
+        return false;
+    }
+    let mut b = j + 1; // body start
+    while b < end && (toks[b].is_punct('*') || toks[b].is_punct('&')) {
+        b += 1;
+    }
+    // `|…| x` or `|…| *x`.
+    if b + 1 == end && toks[b].kind == TokKind::Ident {
+        return binders.contains(&toks[b].text.as_str());
+    }
+    // `|…| (x, …)` — tuple whose first component is a binder.
+    if b < end && toks[b].is_punct('(') {
+        let close = matching(toks, b);
+        if close + 1 == end {
+            if let Some(&(lo, hi)) = split_commas(toks, b + 1, close).first() {
+                let mut f = lo;
+                while f < hi && (toks[f].is_punct('*') || toks[f].is_punct('&')) {
+                    f += 1;
+                }
+                return f + 1 == hi
+                    && toks[f].kind == TokKind::Ident
+                    && binders.contains(&toks[f].text.as_str());
+            }
+        }
+    }
+    false
+}
+
+/// Evaluates the argument of `ExecOutcome::Commit(…)` to the written
+/// key symbols.
+fn eval_commit(
+    toks: &[Tok],
+    lo: usize,
+    mut hi: usize,
+    env: &Env,
+    pushes: &[(String, Vec<(Sym, u32)>)],
+) -> Vec<(Sym, u32)> {
+    // Tolerate the trailing comma of multiline call formatting.
+    while hi > lo && toks[hi - 1].is_punct(',') {
+        hi -= 1;
+    }
+    if lo >= hi {
+        return Vec::new();
+    }
+    let line = toks[lo].line;
+    // `Vec::new()` / `vec![]` → no writes.
+    if toks[lo].is_ident("Vec") {
+        return Vec::new();
+    }
+    // `vec![(K1, V1), …]`.
+    if toks[lo].is_ident("vec")
+        && toks.get(lo + 1).is_some_and(|t| t.is_punct('!'))
+        && toks.get(lo + 2).is_some_and(|t| t.is_punct('['))
+    {
+        let close = matching(toks, lo + 2);
+        let mut out = Vec::new();
+        for (a, b) in split_commas(toks, lo + 3, close) {
+            if a < b && toks[a].is_punct('(') {
+                let tclose = matching(toks, a);
+                if let Some(&(klo, khi)) = split_commas(toks, a + 1, tclose).first() {
+                    out.extend(eval_keys(toks, klo, khi, env));
+                    continue;
+                }
+            }
+            out.push((Sym::Unknown(snippet(toks, a, b)), toks[a].line));
+        }
+        return out;
+    }
+    if toks[lo].kind == TokKind::Ident {
+        // `Commit(writes)` where `writes` is a tracked accumulator.
+        if lo + 1 == hi {
+            if let Some((_, keys)) = pushes.iter().find(|(n, _)| *n == toks[lo].text) {
+                return keys.clone();
+            }
+        }
+        // `Commit(coll.into_iter().map(|k| (k, …)).collect())`: the
+        // written keys are the elements of `coll`.
+        let name = &toks[lo].text;
+        let mut i = lo + 1;
+        let mut saw_iter = false;
+        let mut projection_ok = false;
+        while i < hi && toks[i].is_punct('.') {
+            let Some(method) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+                break;
+            };
+            let Some(open) = (i + 2 < hi && toks[i + 2].is_punct('(')).then_some(i + 2) else {
+                break;
+            };
+            let close = matching(toks, open);
+            match method.text.as_str() {
+                "iter" | "into_iter" => saw_iter = true,
+                "map" => projection_ok = closure_preserves_element(toks, open + 1, close),
+                "collect" | "copied" | "cloned" => {}
+                _ => {
+                    saw_iter = false;
+                    break;
+                }
+            }
+            i = close + 1;
+        }
+        if saw_iter && projection_ok && i >= hi {
+            return collection_syms(name, env, lo)
+                .into_iter()
+                .map(|s| (s, line))
+                .collect();
+        }
+    }
+    vec![(Sym::Unknown(snippet(toks, lo, hi)), line)]
+}
+
+/// A short source reconstruction for diagnostics.
+fn snippet(toks: &[Tok], lo: usize, hi: usize) -> String {
+    let mut out = String::new();
+    for t in toks.iter().take(hi.min(lo + 12)).skip(lo) {
+        if !out.is_empty()
+            && t.kind != TokKind::Punct
+            && !out.ends_with(['(', '[', '.', ':', '&', '*'])
+        {
+            out.push(' ');
+        }
+        out.push_str(&t.text);
+    }
+    if hi > lo + 12 {
+        out.push('…');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{strip_cfg_test, tokenize};
+
+    fn run(src: &str) -> Vec<Finding> {
+        check_contract_file("crates/contracts/src/fake.rs", &strip_cfg_test(&tokenize(src)))
+    }
+
+    const GOOD: &str = r#"
+impl Op {
+    pub fn rw_set(&self) -> RwSet {
+        match self {
+            Op::Move { from, to } => RwSet::new([*from, *to], [*from, *to]),
+            Op::Fan { sources, to } => {
+                let keys: Vec<Key> = sources.iter().map(|(k, _)| *k).chain([*to]).collect();
+                RwSet::new(keys.clone(), keys)
+            }
+            Op::Look { key } => RwSet::read_only([*key]),
+        }
+    }
+}
+fn helper(state: &dyn StateReader, key: Key) -> Option<i64> {
+    state.try_read(key).and_then(|v| v.as_int())
+}
+impl Contract for C {
+    fn execute(&self, tx: &Transaction, state: &dyn StateReader) -> ExecOutcome {
+        let Some(op) = Op::decode(tx.payload()) else { return ExecOutcome::Abort("bad".into()); };
+        match op {
+            Op::Move { from, to } => {
+                let a = helper(state, from).unwrap_or(0);
+                let b = state.read(to).as_int().unwrap_or(0);
+                ExecOutcome::Commit(vec![(from, Value::Int(a)), (to, Value::Int(b))])
+            }
+            Op::Fan { sources, to } => {
+                let mut writes = Vec::with_capacity(sources.len() + 1);
+                for (key, share) in &sources {
+                    let bal = helper(state, *key).unwrap_or(0);
+                    writes.push((*key, Value::Int(bal - share)));
+                }
+                let dst = state.read(to).as_int().unwrap_or(0);
+                writes.push((to, Value::Int(dst)));
+                ExecOutcome::Commit(writes)
+            }
+            Op::Look { key } => {
+                let _ = state.read(key);
+                ExecOutcome::Commit(Vec::new())
+            }
+        }
+    }
+}
+"#;
+
+    #[test]
+    fn covered_contract_is_clean() {
+        let findings = run(GOOD);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn undeclared_scalar_read_is_flagged() {
+        // `to` is read but only `from` is declared readable.
+        let src = GOOD.replace(
+            "Op::Move { from, to } => RwSet::new([*from, *to], [*from, *to])",
+            "Op::Move { from, to } => RwSet::new([*from], [*from, *to])",
+        );
+        let findings = run(&src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("read of field `to`"), "{findings:?}");
+    }
+
+    #[test]
+    fn undeclared_vector_write_is_flagged() {
+        // Fan writes elements of `sources` + `to`; declare only `to`.
+        let src = GOOD.replace(
+            "                let keys: Vec<Key> = sources.iter().map(|(k, _)| *k).chain([*to]).collect();\n                RwSet::new(keys.clone(), keys)",
+            "                RwSet::new([*to], [*to])",
+        );
+        let findings = run(&src);
+        // Reads of elements-of-sources and writes of elements-of-sources.
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.message.contains("write of elements of `sources`")),
+            "{findings:?}"
+        );
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.message.contains("read of elements of `sources`")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn unanalyzable_access_is_an_error_not_a_pass() {
+        let src = GOOD.replace("state.read(to)", "state.read(derive(to))");
+        let findings = run(&src);
+        assert!(
+            findings.iter().any(|f| f.message.contains("unresolvable")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn mix_style_iterator_chains_are_covered() {
+        let src = r#"
+impl Op {
+    pub fn rw_set(&self) -> RwSet {
+        match self {
+            Op::Mix { reads, writes } => {
+                RwSet::new(reads.iter().copied(), writes.iter().copied())
+            }
+        }
+    }
+}
+impl Contract for C {
+    fn execute(&self, tx: &Transaction, state: &dyn StateReader) -> ExecOutcome {
+        match op {
+            Op::Mix { reads, writes } => {
+                let sum: i64 = reads.iter().map(|k| state.read(*k).as_int().unwrap_or(0)).sum();
+                ExecOutcome::Commit(writes.into_iter().map(|k| (k, Value::Int(sum))).collect())
+            }
+        }
+    }
+}
+"#;
+        let findings = run(src);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn executed_variant_without_declaration_is_flagged() {
+        let src = r#"
+fn rw_set(&self) -> RwSet {
+    match self {
+        Op::A { k } => RwSet::new([*k], [*k]),
+    }
+}
+fn execute(&self, tx: &Transaction, state: &dyn StateReader) -> ExecOutcome {
+    match op {
+        Op::A { k } => { let _ = state.read(k); ExecOutcome::Commit(Vec::new()) }
+        Op::B { k } => { let _ = state.read(k); ExecOutcome::Commit(Vec::new()) }
+    }
+}
+"#;
+        let findings = run(src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("no declared rw_set arm"));
+    }
+
+    #[test]
+    fn files_without_contracts_are_skipped() {
+        assert!(run("pub struct Plain; impl Plain { fn go(&self) {} }").is_empty());
+    }
+}

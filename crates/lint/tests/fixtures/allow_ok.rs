@@ -1,0 +1,14 @@
+//@ path: crates/core/src/fixture_allow.rs
+//@ suppressions: 2
+// Known-good: justified markers suppress, in both placements (line
+// above and same line).
+use std::time::Instant;
+
+pub fn startup_probe() -> Instant {
+    // lint:allow(wall-clock) — fixture: measuring real startup latency
+    Instant::now()
+}
+
+pub fn tick() -> Instant {
+    Instant::now() // lint:allow(wall-clock) — fixture: same-line marker form
+}

@@ -1,0 +1,20 @@
+//@ path: crates/core/src/fixture_stale.rs
+// Known-bad: markers that suppress nothing, carry no justification,
+// or name unknown rules are themselves `stale-allow` violations.
+pub fn quiet() -> u32 {
+    // lint:allow(wall-clock) — nothing here actually reads the clock
+    //~^ stale-allow
+    41 + 1
+}
+
+pub fn unjustified() -> std::time::SystemTime {
+    // lint:allow(wall-clock)
+    //~^ stale-allow
+    std::time::SystemTime::now() //~ wall-clock
+}
+
+pub fn unknown_rule() -> u32 {
+    // lint:allow(no-such-rule) — typo'd rule id
+    //~^ stale-allow
+    7
+}

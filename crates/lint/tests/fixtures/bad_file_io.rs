@@ -1,0 +1,14 @@
+//@ path: crates/consensus/src/fixture_io.rs
+// Known-bad: durability syscalls outside the storage crate.
+pub trait Syncable {
+    fn sync_all(&self) -> std::io::Result<()>;
+}
+
+pub fn persist(path: &str, bytes: &[u8]) -> std::io::Result<String> {
+    std::fs::write(path, bytes)?; //~ file-io
+    std::fs::read_to_string(path) //~ file-io
+}
+
+pub fn flush(file: &impl Syncable) -> std::io::Result<()> {
+    file.sync_all() //~ file-io
+}

@@ -1,0 +1,27 @@
+//@ path: crates/contracts/src/fixture_app.rs
+// Known-bad: the declared read set misses keys `execute` reads —
+// exactly the under-declaration that breaks OXII's dependency graphs.
+impl Op {
+    pub fn rw_set(&self) -> RwSet {
+        match self {
+            Op::Move { from, to } => RwSet::new([*from], [*from, *to]),
+            Op::Look { key } => RwSet::read_only([]),
+        }
+    }
+}
+impl Contract for C {
+    fn execute(&self, tx: &Transaction, state: &dyn StateReader) -> ExecOutcome {
+        let Some(op) = Op::decode(tx.payload()) else { return ExecOutcome::Abort("bad".into()); };
+        match op {
+            Op::Move { from, to } => {
+                let a = state.read(from).as_int().unwrap_or(0);
+                let b = state.read(to).as_int().unwrap_or(0); //~ rwset-coverage
+                ExecOutcome::Commit(vec![(from, Value::Int(a)), (to, Value::Int(b))])
+            }
+            Op::Look { key } => {
+                let _ = state.read(key); //~ rwset-coverage
+                ExecOutcome::Commit(Vec::new())
+            }
+        }
+    }
+}

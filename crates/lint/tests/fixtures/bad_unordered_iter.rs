@@ -1,0 +1,20 @@
+//@ path: crates/types/src/fixture_wire.rs
+// Known-bad: HashMap iteration order leaks into wire bytes / digests.
+use std::collections::HashMap;
+
+pub fn encode_state(entries: &HashMap<u64, u64>) -> Vec<u8> {
+    let mut out = Vec::new();
+    for (k, v) in entries { //~ unordered-iter
+        out.extend_from_slice(&k.to_le_bytes());
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+pub fn digest_values(map: &HashMap<u64, u64>) -> u64 {
+    map.values().fold(0, |acc, v| acc ^ v) //~ unordered-iter
+}
+
+pub fn lookup(map: &HashMap<u64, u64>, key: u64) -> Option<u64> {
+    map.get(&key).copied()
+}

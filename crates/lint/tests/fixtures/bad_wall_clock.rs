@@ -1,0 +1,12 @@
+//@ path: crates/core/src/fixture_wall.rs
+// Known-bad: wall-clock reads outside the Clock abstraction.
+use std::time::{Duration, Instant, SystemTime};
+
+pub fn elapsed_since_start() -> Duration {
+    let start = Instant::now(); //~ wall-clock
+    start.elapsed()
+}
+
+pub fn timestamp() -> SystemTime {
+    SystemTime::now() //~ wall-clock
+}

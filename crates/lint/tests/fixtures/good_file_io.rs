@@ -1,0 +1,6 @@
+//@ path: crates/store/src/fixture_wal.rs
+// Known-good: the storage crate owns durability, so file I/O and
+// fsync are expected here.
+pub fn append(path: &str, bytes: &[u8]) -> std::io::Result<()> {
+    std::fs::write(path, bytes)
+}

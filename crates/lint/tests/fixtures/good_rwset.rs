@@ -1,0 +1,44 @@
+//@ path: crates/contracts/src/fixture_ok.rs
+// Known-good: every key `execute` can touch appears in the declared
+// read/write set, including vector fan-out and helper-mediated reads.
+impl Op {
+    pub fn rw_set(&self) -> RwSet {
+        match self {
+            Op::Move { from, to } => RwSet::new([*from, *to], [*from, *to]),
+            Op::Fan { sources, to } => {
+                let keys: Vec<Key> = sources.iter().map(|(k, _)| *k).chain([*to]).collect();
+                RwSet::new(keys.clone(), keys)
+            }
+            Op::Look { key } => RwSet::read_only([*key]),
+        }
+    }
+}
+fn helper(state: &dyn StateReader, key: Key) -> Option<i64> {
+    state.try_read(key).and_then(|v| v.as_int())
+}
+impl Contract for C {
+    fn execute(&self, tx: &Transaction, state: &dyn StateReader) -> ExecOutcome {
+        let Some(op) = Op::decode(tx.payload()) else { return ExecOutcome::Abort("bad".into()); };
+        match op {
+            Op::Move { from, to } => {
+                let a = helper(state, from).unwrap_or(0);
+                let b = state.read(to).as_int().unwrap_or(0);
+                ExecOutcome::Commit(vec![(from, Value::Int(a)), (to, Value::Int(b))])
+            }
+            Op::Fan { sources, to } => {
+                let mut writes = Vec::with_capacity(sources.len() + 1);
+                for (key, share) in &sources {
+                    let bal = helper(state, *key).unwrap_or(0);
+                    writes.push((*key, Value::Int(bal - share)));
+                }
+                let dst = state.read(to).as_int().unwrap_or(0);
+                writes.push((to, Value::Int(dst)));
+                ExecOutcome::Commit(writes)
+            }
+            Op::Look { key } => {
+                let _ = state.read(key);
+                ExecOutcome::Commit(Vec::new())
+            }
+        }
+    }
+}

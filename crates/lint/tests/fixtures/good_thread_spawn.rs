@@ -1,0 +1,8 @@
+//@ path: crates/core/src/pool.rs
+// Known-good: the executor pool is one of the two sanctioned homes of
+// thread spawns (the other is the network engine).
+fn work() {}
+
+pub fn spawn_worker() {
+    std::thread::spawn(work);
+}

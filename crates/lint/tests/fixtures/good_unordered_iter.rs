@@ -1,0 +1,17 @@
+//@ path: crates/types/src/fixture_wire_ok.rs
+// Known-good: ordered collections in canonical functions, and
+// unordered iteration only in order-insensitive helpers.
+use std::collections::{BTreeMap, HashMap};
+
+pub fn encode_state(entries: &BTreeMap<u64, u64>) -> Vec<u8> {
+    let mut out = Vec::new();
+    for (k, v) in entries {
+        out.extend_from_slice(&k.to_le_bytes());
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+pub fn sum_all(map: &HashMap<u64, u64>) -> u64 {
+    map.values().sum()
+}

@@ -1,0 +1,8 @@
+//@ path: crates/types/src/clock.rs
+// Known-good: the Clock implementation is the sanctioned home of
+// wall-clock reads, so the rule does not fire here.
+use std::time::Instant;
+
+pub fn now() -> Instant {
+    Instant::now()
+}

@@ -341,7 +341,7 @@ fn delivery_loop<M: Send + 'static>(shared: &Shared<M>) {
         if queue.shutdown {
             return;
         }
-        let now = Instant::now();
+        let now = shared.clock.now();
         // Deliver everything due.
         while let Some(Reverse(key)) = queue.heap.peek() {
             if key.due > now {
@@ -365,7 +365,7 @@ fn delivery_loop<M: Send + 'static>(shared: &Shared<M>) {
         }
         match queue.heap.peek() {
             Some(Reverse(key)) => {
-                let wait = key.due.saturating_duration_since(Instant::now());
+                let wait = key.due.saturating_duration_since(shared.clock.now());
                 let _ = shared.wake.wait_for(&mut queue, wait);
             }
             None => shared.wake.wait(&mut queue),
