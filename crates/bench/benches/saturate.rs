@@ -1,0 +1,57 @@
+//! Criterion micro-bench of the saturation harness itself: one
+//! virtual-time sweep step below and one past the cost-model knee. The
+//! sim leg is deterministic, so this times the harness + simulator (the
+//! schedule generation, measurement windowing, and percentile math),
+//! not host noise — a regression here means the sweep machinery got
+//! slower, not the cluster.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use parblock_types::{ArrivalProcess, BlockCutConfig, ExecutionCosts};
+use parblockchain::{saturate_sim, ClusterSpec, SaturateConfig, SystemKind};
+
+fn sweep_config(rate: f64) -> SaturateConfig {
+    let mut spec = ClusterSpec::new(SystemKind::Oxii);
+    spec.block_cut = BlockCutConfig {
+        max_txns: 25,
+        max_bytes: usize::MAX,
+        max_wait: Duration::from_millis(10),
+    };
+    // Full contention + 500 µs/tx: a hard 2 000 tps per-chain capacity,
+    // so the two rates below sit on either side of the knee.
+    spec.costs = ExecutionCosts::per_tx(Duration::from_micros(500));
+    spec.workload.contention = 1.0;
+    spec.seed = 42;
+    let mut config = SaturateConfig::new(spec, vec![rate]);
+    config.arrival = ArrivalProcess::Poisson;
+    config.duration = Duration::from_millis(400);
+    config.warmup = Duration::from_millis(100);
+    config.cooldown = Duration::from_millis(50);
+    config.drain = Duration::from_millis(200);
+    config
+}
+
+fn bench_saturate_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("saturate_sim_step");
+    group.sample_size(10);
+    for rate in [800.0, 8_000.0] {
+        let config = sweep_config(rate);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(rate as u64),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    let outcome = saturate_sim(config);
+                    assert_eq!(outcome.points.len(), 1);
+                    outcome.points[0].measured_committed
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_saturate_sim);
+criterion_main!(benches);

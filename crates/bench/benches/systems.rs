@@ -23,6 +23,7 @@ fn bench_systems(c: &mut Criterion) {
                 rate_tps: 1_000.0,
                 duration: Duration::from_millis(400),
                 drain: Duration::from_millis(200),
+                ..LoadSpec::default()
             };
             group.bench_with_input(
                 BenchmarkId::new(system.to_string(), contention),

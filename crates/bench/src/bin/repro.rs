@@ -23,6 +23,12 @@
 //! repro lint                 # workspace static analysis: rwset coverage +
 //!                            # determinism lints (exit 1 on any violation)
 //! repro lint --json          # machine-readable findings for CI annotations
+//! repro saturate             # open-loop saturation sweep: rate-vs-latency
+//!                            # curve with honest percentiles + detected knee
+//! repro saturate --sim       # same sweep in virtual time (bit-reproducible)
+//! repro saturate --rates 500,2000,8000 --arrival poisson --json
+//!                            # custom schedule; --json also writes
+//!                            # bench_results/BENCH_saturate.json
 //! repro all                  # everything
 //! repro all --full           # everything, longer measurement points
 //! ```
@@ -32,9 +38,11 @@
 use parblock_bench::{
     ablation_commit_batching, ablation_durability, ablation_mode, ablation_mv_graph,
     ablation_pipeline, ablation_streaming, default_data_dir, default_seed_file, explore_one,
-    explore_sweep, fig5_block_size, fig6_contention, fig7_geo, load_seed_file, recover_demo,
-    ExperimentScale, Table,
+    explore_sweep, fig5_block_size, fig6_contention, fig7_geo, knee_summary, load_seed_file,
+    parse_rates, recover_demo, run_saturate, saturate_table, write_saturate_json,
+    ExperimentScale, SaturateOptions, Table,
 };
+use parblock_types::ArrivalProcess;
 use parblockchain::MovedGroup;
 
 fn emit(name: &str, table: &Table) {
@@ -80,6 +88,59 @@ fn run_fig7(moved: Option<MovedGroup>, scale: ExperimentScale) {
             MovedGroup::NonExecutors => "fig7d_nonexecutors",
         };
         emit(name, &fig7_geo(group, scale));
+    }
+}
+
+fn run_saturate_cmd(args: &[String], scale: ExperimentScale) {
+    let arg_value = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let mut options = SaturateOptions {
+        scale,
+        ..SaturateOptions::default()
+    };
+    if let Some(raw) = arg_value("--rates") {
+        match parse_rates(&raw) {
+            Some(rates) => options.rates = rates,
+            None => {
+                eprintln!("saturate: --rates wants comma-separated positive tps, got {raw:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(raw) = arg_value("--arrival") {
+        match ArrivalProcess::parse(&raw) {
+            Some(arrival) => options.arrival = arrival,
+            None => {
+                eprintln!("saturate: --arrival wants uniform|poisson|burst, got {raw:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    options.sim = args.iter().any(|a| a == "--sim");
+    options.on_disk = args.iter().any(|a| a == "--on-disk");
+    if let Some(seed) = arg_value("--seed").and_then(|v| v.parse().ok()) {
+        options.seed = seed;
+    }
+    if let Some(level) = arg_value("--contention").and_then(|v| v.parse::<u32>().ok()) {
+        options.contention = f64::from(level.min(100)) / 100.0;
+    }
+    if let Some(cap) = arg_value("--cap").and_then(|v| v.parse().ok()) {
+        options.max_outstanding = Some(cap);
+    }
+    let outcome = run_saturate(&options);
+    emit("saturate", &saturate_table(&outcome));
+    println!("{}", knee_summary(&outcome, &options));
+    if args.iter().any(|a| a == "--json") {
+        match write_saturate_json(&outcome, &options) {
+            Ok(path) => println!("(json written to {})", path.display()),
+            Err(e) => {
+                eprintln!("saturate: json write failed: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }
 
@@ -155,6 +216,7 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        "saturate" => run_saturate_cmd(&args, scale),
         "recover" => {
             let data_dir = arg_value("--data-dir")
                 .map_or_else(default_data_dir, std::path::PathBuf::from);
@@ -194,10 +256,11 @@ fn main() {
             emit("ablation_durability", &ablation_durability(scale));
             emit("ablation_mode", &ablation_mode(scale));
             emit("recover", &recover_demo(&default_data_dir()));
+            run_saturate_cmd(&args, scale);
         }
         other => {
             eprintln!("unknown command: {other}");
-            eprintln!("usage: repro [fig5|fig6|fig7|ablation-commit|ablation-mv|ablation-streaming|ablation-pipeline|ablation-durability|ablation-mode|recover|explore|lint|all] [--contention N] [--move GROUP] [--data-dir DIR] [--full] [--seeds N] [--seed K] [--seed-file PATH] [--count N] [--no-faults] [--json]");
+            eprintln!("usage: repro [fig5|fig6|fig7|ablation-commit|ablation-mv|ablation-streaming|ablation-pipeline|ablation-durability|ablation-mode|recover|explore|saturate|lint|all] [--contention N] [--move GROUP] [--data-dir DIR] [--full] [--seeds N] [--seed K] [--seed-file PATH] [--count N] [--no-faults] [--rates R,R,...] [--arrival uniform|poisson|burst] [--sim] [--on-disk] [--cap N] [--json]");
             std::process::exit(2);
         }
     }

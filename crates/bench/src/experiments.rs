@@ -29,11 +29,13 @@ impl ExperimentScale {
                 rate_tps,
                 duration: Duration::from_millis(900),
                 drain: Duration::from_millis(600),
+                ..LoadSpec::default()
             },
             ExperimentScale::Full => LoadSpec {
                 rate_tps,
                 duration: Duration::from_millis(2500),
                 drain: Duration::from_millis(900),
+                ..LoadSpec::default()
             },
         }
     }
@@ -586,23 +588,11 @@ mod tests {
         let report = RunReport {
             committed: 100,
             aborted: 100,
-            outstanding: 0,
             blocks: 2,
             window: Duration::from_secs(1),
             latencies_us: vec![1000, 2000, 3000],
-            state_digest: None,
-            ledger_head: None,
-            pipeline_occupancy: Vec::new(),
-            boundary_stall: Duration::ZERO,
-            boundary_stalls: 0,
-            wal_bytes_written: 0,
-            fsync_count: 0,
-            checkpoint_count: 0,
-            recovery_replay_len: 0,
             messages: 42,
-            validation_passes: 0,
-            aborts: 0,
-            re_executions: 0,
+            ..RunReport::default()
         };
         let p = Point::from_report(500.0, &report);
         assert_eq!(p.offered_tps, 500.0);

@@ -1,0 +1,296 @@
+//! The `repro saturate` subcommand: open-loop saturation sweeps
+//! (DESIGN.md §13) rendered as a rate-vs-latency table, CSV, and a
+//! machine-readable JSON artifact for CI trend tracking.
+//!
+//! The threaded leg measures the real cluster on this host; the `--sim`
+//! leg runs the identical sweep in virtual time, where the curve is a
+//! pure function of the seed (the CI smoke job uses that leg so the
+//! artifact is stable across runners).
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use parblock_types::{ArrivalProcess, BlockCutConfig, ExecutionCosts};
+use parblockchain::{
+    saturate, saturate_sim, ClusterSpec, DurabilityMode, SaturateConfig, SaturateOutcome,
+    SystemKind,
+};
+
+use crate::experiments::ExperimentScale;
+use crate::table::Table;
+
+/// Where the JSON artifact lands (next to the CSVs).
+pub const JSON_ARTIFACT: &str = "bench_results/BENCH_saturate.json";
+
+/// CLI-shaped options for one saturation sweep.
+#[derive(Debug, Clone)]
+pub struct SaturateOptions {
+    /// Offered rates (tps), in sweep order.
+    pub rates: Vec<f64>,
+    /// Arrival process of every step.
+    pub arrival: ArrivalProcess,
+    /// Run the deterministic virtual-time leg instead of the threaded
+    /// cluster.
+    pub sim: bool,
+    /// Persist every node through `parblock_store` into a scratch
+    /// directory (wiped afterwards) instead of in-memory.
+    pub on_disk: bool,
+    /// Workload contention in `[0, 1]` (the fig 6 axis). Full contention
+    /// chains each block, which is what gives the sim leg a hard
+    /// cost-model capacity to find.
+    pub contention: f64,
+    /// Cluster seed — the sim leg's curve is a pure function of it.
+    pub seed: u64,
+    /// Optional admission cap on in-flight transactions.
+    pub max_outstanding: Option<u64>,
+    /// Step length: `Quick` is a 1 s step, `Full` the 2 s default.
+    pub scale: ExperimentScale,
+}
+
+impl Default for SaturateOptions {
+    fn default() -> Self {
+        SaturateOptions {
+            rates: vec![250.0, 500.0, 1_000.0, 2_000.0, 4_000.0, 8_000.0, 16_000.0],
+            arrival: ArrivalProcess::Uniform,
+            sim: false,
+            on_disk: false,
+            contention: 0.2,
+            seed: 42,
+            max_outstanding: None,
+            scale: ExperimentScale::Quick,
+        }
+    }
+}
+
+impl SaturateOptions {
+    fn config(&self, data_dir: Option<&Path>) -> SaturateConfig {
+        let mut spec = ClusterSpec::new(SystemKind::Oxii);
+        spec.block_cut = BlockCutConfig::with_max_txns(100);
+        spec.costs = ExecutionCosts::per_tx(Duration::from_micros(500));
+        spec.workload.contention = self.contention;
+        spec.seed = self.seed;
+        spec.durability = match data_dir {
+            Some(dir) => DurabilityMode::OnDisk {
+                data_dir: dir.to_path_buf(),
+                fresh: true,
+            },
+            None => DurabilityMode::InMemory,
+        };
+        let mut config = SaturateConfig::new(spec, self.rates.clone());
+        config.arrival = self.arrival;
+        config.max_outstanding = self.max_outstanding;
+        if matches!(self.scale, ExperimentScale::Quick) {
+            config.duration = Duration::from_millis(1_000);
+            config.warmup = Duration::from_millis(250);
+            config.cooldown = Duration::from_millis(150);
+            config.drain = Duration::from_millis(500);
+        }
+        config
+    }
+}
+
+/// Runs the sweep the options describe and returns the outcome.
+///
+/// # Panics
+///
+/// Panics when the step shape leaves no measured span (not reachable
+/// from the CLI, which only picks between the two built-in shapes).
+#[must_use]
+pub fn run_saturate(options: &SaturateOptions) -> SaturateOutcome {
+    let scratch: Option<PathBuf> = options.on_disk.then(|| {
+        std::env::temp_dir().join(format!("parblock-saturate-{}", std::process::id()))
+    });
+    let config = options.config(scratch.as_deref());
+    let outcome = if options.sim {
+        saturate_sim(&config)
+    } else {
+        saturate(&config)
+    };
+    if let Some(dir) = scratch {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    outcome
+}
+
+/// Renders the sweep as the `repro` table/CSV shape: one row per step,
+/// percentiles in milliseconds, the driver self-checks alongside.
+#[must_use]
+pub fn saturate_table(outcome: &SaturateOutcome) -> Table {
+    let mut table = Table::new([
+        "offered_tps",
+        "achieved_tps",
+        "measured_submitted",
+        "measured_committed",
+        "outstanding",
+        "p50_ms",
+        "p99_ms",
+        "p999_ms",
+        "driver_overruns",
+        "driver_max_lag_ms",
+        "admission_shed",
+    ]);
+    let ms = |d: Duration| format!("{:.3}", d.as_secs_f64() * 1e3);
+    for point in &outcome.points {
+        table.row([
+            format!("{:.0}", point.offered_tps),
+            format!("{:.1}", point.achieved_tps),
+            point.measured_submitted.to_string(),
+            point.measured_committed.to_string(),
+            point.outstanding.to_string(),
+            ms(point.p50),
+            ms(point.p99),
+            ms(point.p999),
+            point.driver_overruns.to_string(),
+            ms(point.driver_max_lag),
+            point.admission_shed.to_string(),
+        ]);
+    }
+    table
+}
+
+/// One line summarising the detected knee.
+#[must_use]
+pub fn knee_summary(outcome: &SaturateOutcome, options: &SaturateOptions) -> String {
+    match outcome.knee_tps {
+        Some(knee) => format!(
+            "knee: {knee:.0} tps ({} leg, {} arrivals, seed {})",
+            if options.sim { "virtual-time" } else { "threaded" },
+            options.arrival,
+            options.seed
+        ),
+        None => "knee: none — every step was past saturation".to_string(),
+    }
+}
+
+/// Serializes the sweep as the `BENCH_saturate.json` artifact: sweep
+/// metadata, the knee, and every point with integral-microsecond
+/// percentiles (no float round-tripping in CI diffs).
+#[must_use]
+pub fn saturate_json(outcome: &SaturateOutcome, options: &SaturateOptions) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"saturate\",");
+    let _ = writeln!(
+        out,
+        "  \"leg\": \"{}\",",
+        if options.sim { "sim" } else { "threaded" }
+    );
+    let _ = writeln!(out, "  \"arrival\": \"{}\",", options.arrival);
+    let _ = writeln!(out, "  \"seed\": {},", options.seed);
+    let _ = writeln!(out, "  \"contention\": {:.2},", options.contention);
+    let _ = writeln!(
+        out,
+        "  \"durability\": \"{}\",",
+        if options.on_disk { "on-disk" } else { "in-memory" }
+    );
+    match outcome.knee_tps {
+        Some(knee) => {
+            let _ = writeln!(out, "  \"knee_tps\": {knee:.1},");
+        }
+        None => {
+            let _ = writeln!(out, "  \"knee_tps\": null,");
+        }
+    }
+    out.push_str("  \"points\": [\n");
+    for (i, p) in outcome.points.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"offered_tps\": {:.1}, \"achieved_tps\": {:.1}, \
+             \"measured_submitted\": {}, \"measured_committed\": {}, \
+             \"outstanding\": {}, \"p50_us\": {}, \"p99_us\": {}, \
+             \"p999_us\": {}, \"driver_overruns\": {}, \
+             \"driver_max_lag_us\": {}, \"admission_shed\": {}}}",
+            p.offered_tps,
+            p.achieved_tps,
+            p.measured_submitted,
+            p.measured_committed,
+            p.outstanding,
+            p.p50.as_micros(),
+            p.p99.as_micros(),
+            p.p999.as_micros(),
+            p.driver_overruns,
+            p.driver_max_lag.as_micros(),
+            p.admission_shed,
+        );
+        out.push_str(if i + 1 < outcome.points.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes the JSON artifact to [`JSON_ARTIFACT`].
+///
+/// # Errors
+///
+/// Propagates I/O errors from creating `bench_results/` or the file.
+pub fn write_saturate_json(outcome: &SaturateOutcome, options: &SaturateOptions) -> std::io::Result<PathBuf> {
+    let path = PathBuf::from(JSON_ARTIFACT);
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(&path, saturate_json(outcome, options))?;
+    Ok(path)
+}
+
+/// Parses the `--rates` CLI spelling: comma-separated positive tps
+/// values, e.g. `--rates 500,1000,4000`.
+#[must_use]
+pub fn parse_rates(raw: &str) -> Option<Vec<f64>> {
+    let rates: Option<Vec<f64>> = raw
+        .split(',')
+        .map(|s| s.trim().parse::<f64>().ok().filter(|r| *r > 0.0))
+        .collect();
+    rates.filter(|r| !r.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_outcome() -> (SaturateOutcome, SaturateOptions) {
+        let options = SaturateOptions {
+            rates: vec![400.0, 1_600.0],
+            sim: true,
+            contention: 1.0,
+            scale: ExperimentScale::Quick,
+            ..SaturateOptions::default()
+        };
+        (run_saturate(&options), options)
+    }
+
+    #[test]
+    fn sim_sweep_renders_table_and_json() {
+        let (outcome, options) = tiny_outcome();
+        let table = saturate_table(&outcome);
+        assert_eq!(table.len(), outcome.points.len());
+        assert!(!table.is_empty());
+        let json = saturate_json(&outcome, &options);
+        assert!(json.contains("\"bench\": \"saturate\""));
+        assert!(json.contains("\"leg\": \"sim\""));
+        assert!(json.contains("\"offered_tps\": 400.0"));
+        // Balanced braces/brackets — the artifact must stay parseable.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(knee_summary(&outcome, &options).starts_with("knee:"));
+    }
+
+    #[test]
+    fn sim_leg_is_reproducible_end_to_end() {
+        let (a, options) = tiny_outcome();
+        let b = run_saturate(&options);
+        assert_eq!(
+            saturate_json(&a, &options),
+            saturate_json(&b, &options),
+            "the JSON artifact of a seeded sim sweep must be bit-stable"
+        );
+    }
+
+    #[test]
+    fn rates_parse_and_reject_garbage() {
+        assert_eq!(parse_rates("500,1000"), Some(vec![500.0, 1_000.0]));
+        assert_eq!(parse_rates(" 250 , 4000 "), Some(vec![250.0, 4_000.0]));
+        assert_eq!(parse_rates(""), None);
+        assert_eq!(parse_rates("abc"), None);
+        assert_eq!(parse_rates("100,-5"), None);
+    }
+}

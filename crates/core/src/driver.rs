@@ -1,38 +1,79 @@
 //! The client load driver for OX and OXII: rate-paced REQUEST submission
 //! straight to the ordering service (§IV-B: "clients send requests to the
 //! orderer nodes").
+//!
+//! # Pacing
+//!
+//! The driver is open-loop against an **absolute intended-arrival
+//! schedule**: the full schedule (arrival offset + transaction) is
+//! materialised before the first send, and the paced loop sleeps toward
+//! each intended instant, submitting late arrivals back-to-back when it
+//! falls behind. Two classes of bug shaped this design:
+//!
+//! * **Pacing drift.** The previous per-tick accrual (`acc += per_tick`
+//!   once per loop iteration) credited exactly one tick of budget per
+//!   iteration, so any iteration that overran its tick — signing bursts,
+//!   scheduler preemption — silently stretched the schedule and the
+//!   achieved rate fell below the offered rate without anything
+//!   reporting it. An absolute schedule cannot drift: lateness is
+//!   caught up, not forgotten.
+//! * **Generation stalls.** Workload generation used to run inside the
+//!   paced loop (refilling a window buffer between sends), so a slow
+//!   window materialisation stalled the submit path and showed up as
+//!   tail latency of the *system*. Generation and signing inputs are now
+//!   prepared entirely off the hot path.
+//!
+//! Lateness that does occur is charged honestly: every submission is
+//! stamped with its intended arrival ([`crate::metrics::Metrics::record_submit_at`]),
+//! so driver overruns inflate the reported latency instead of hiding it,
+//! and are counted separately as `driver_overruns` for self-checks.
 
 use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parblock_net::Endpoint;
 use parblock_types::wire::Wire;
-use parblock_types::Transaction;
-use parblock_workload::WorkloadGen;
+use parblock_types::{ArrivalProcess, Transaction};
+use parblock_workload::{ArrivalGen, WorkloadGen};
 
 use crate::msg::Msg;
+use crate::runner::LoadSpec;
 use crate::shared::Shared;
 
-/// Submission pacing tick.
+/// Longest single sleep of the paced loop — the stop flag is re-checked
+/// at least this often.
 const TICK: Duration = Duration::from_millis(1);
 
-/// Runs an open-loop driver: `rate_tps` transactions per second for
-/// `duration`, then returns (commits continue to drain afterwards).
+/// Within this distance of the intended arrival the driver yields
+/// instead of sleeping: `thread::sleep` overshoots by whole scheduler
+/// ticks (commonly 1–4 ms), which would turn every sub-millisecond gap
+/// into a counted overrun. Yielding (rather than spinning) keeps the
+/// cluster runnable on low-core hosts — residual lag there is expected,
+/// counted, and charged to the latency samples rather than hidden.
+const SPIN_THRESHOLD: Duration = Duration::from_millis(2);
+
+/// Runs an open-loop driver: the arrival schedule of `load` (rate,
+/// arrival process, duration), anchored at `start`, then returns
+/// (commits continue to drain afterwards). Arrivals beyond
+/// `load.max_outstanding` in-flight transactions are shed.
 pub(crate) fn run_driver(
     shared: &Arc<Shared>,
     endpoint: &Endpoint<Msg>,
-    rate_tps: f64,
-    duration: Duration,
+    load: &LoadSpec,
+    start: Instant,
 ) {
-    run_driver_inner(shared, endpoint, rate_tps, Some(duration), None, 0);
+    let offsets = ArrivalGen::new(load.arrival, load.rate_tps, shared.spec.seed)
+        .take_until(load.duration);
+    run_schedule(shared, endpoint, &offsets, 0, start, load.max_outstanding);
 }
 
 /// Submits transactions `[skip, count)` of the deterministic workload
-/// stream at `rate_tps`: the first `skip` are generated and discarded
-/// (they are already in the recovered chain of a resumed cluster), the
-/// rest are submitted.
+/// stream at `rate_tps` with uniform spacing: the first `skip` are
+/// generated and discarded (they are already in the recovered chain of a
+/// resumed cluster), the rest are submitted. No shedding — fixed-count
+/// runs need the exact set.
 pub(crate) fn run_driver_count_from(
     shared: &Arc<Shared>,
     endpoint: &Endpoint<Msg>,
@@ -40,28 +81,28 @@ pub(crate) fn run_driver_count_from(
     skip: usize,
     count: usize,
 ) {
-    run_driver_inner(
-        shared,
-        endpoint,
-        rate_tps,
-        None,
-        Some(count.saturating_sub(skip)),
-        skip,
-    );
+    let n = count.saturating_sub(skip);
+    let mut gen = ArrivalGen::new(ArrivalProcess::Uniform, rate_tps, shared.spec.seed);
+    let offsets: Vec<Duration> = (0..n).map(|_| gen.next_offset()).collect();
+    let start = shared.clock.now();
+    run_schedule(shared, endpoint, &offsets, skip, start, None);
 }
 
-fn run_driver_inner(
+/// Paces `offsets.len()` transactions of the workload stream (after
+/// discarding the first `skip`) so that transaction `i` is submitted at
+/// `start + offsets[i]`, or as soon after as the driver manages.
+fn run_schedule(
     shared: &Arc<Shared>,
     endpoint: &Endpoint<Msg>,
-    rate_tps: f64,
-    duration: Option<Duration>,
-    count: Option<usize>,
+    offsets: &[Duration],
     skip: usize,
+    start: Instant,
+    max_outstanding: Option<u64>,
 ) {
+    // Materialise the whole transaction stream before pacing begins:
+    // generation never runs on the hot submit path.
     let mut gen = WorkloadGen::new(shared.spec.workload_config());
     let mut buffer: VecDeque<Transaction> = VecDeque::new();
-    // Fast-forward the deterministic stream past the already-committed
-    // prefix without submitting (or timing) it.
     let mut to_skip = skip;
     while to_skip > 0 {
         if buffer.is_empty() {
@@ -71,55 +112,58 @@ fn run_driver_inner(
         buffer.drain(..drop);
         to_skip -= drop;
     }
-    let entry = shared.spec.entry_orderer();
-    let per_tick = rate_tps * TICK.as_secs_f64();
-    let mut acc = 0.0f64;
-    let mut sent = 0usize;
-    let start = shared.clock.now();
+    let mut txs: Vec<Transaction> = Vec::with_capacity(offsets.len());
+    while txs.len() < offsets.len() {
+        if buffer.is_empty() {
+            buffer.extend(gen.window());
+        }
+        let take = buffer.len().min(offsets.len() - txs.len());
+        txs.extend(buffer.drain(..take));
+    }
 
-    loop {
-        if shared.stop.load(Ordering::Relaxed) {
-            return;
+    let entry = shared.spec.entry_orderer();
+    for (&offset, tx) in offsets.iter().zip(txs) {
+        let intended = start + offset;
+        // Sleep toward the intended arrival in short chunks (the stop
+        // flag stays responsive), spinning out the last stretch where
+        // sleep granularity would overshoot. When behind schedule, fall
+        // through and submit immediately — due arrivals go out
+        // back-to-back and the lag lands in the latency samples, not in
+        // a stretched schedule.
+        loop {
+            if shared.stop.load(Ordering::Relaxed) {
+                return;
+            }
+            let now = shared.clock.now();
+            if now >= intended {
+                break;
+            }
+            let remaining = intended - now;
+            if remaining > SPIN_THRESHOLD {
+                std::thread::sleep((remaining - SPIN_THRESHOLD).min(TICK));
+            } else {
+                std::thread::yield_now();
+            }
         }
-        if duration.is_some_and(|d| shared.clock.now().duration_since(start) >= d) {
-            return;
+        if let Some(cap) = max_outstanding {
+            if shared.metrics.outstanding() >= cap {
+                shared.metrics.record_admission_shed();
+                continue;
+            }
         }
-        if count.is_some_and(|c| sent >= c) {
-            return;
-        }
-        let tick_start = shared.clock.now();
-        acc += per_tick;
-        let mut n = acc.floor() as usize;
-        acc -= n as f64;
-        if let Some(c) = count {
-            n = n.min(c - sent);
-        }
-        for _ in 0..n {
-            let tx = match buffer.pop_front() {
-                Some(tx) => tx,
-                None => {
-                    buffer.extend(gen.window());
-                    buffer.pop_front().expect("window is non-empty")
-                }
-            };
-            submit(shared, endpoint, entry, tx);
-            sent += 1;
-        }
-        let elapsed = shared.clock.now().duration_since(tick_start);
-        if elapsed < TICK {
-            std::thread::sleep(TICK - elapsed);
-        }
+        submit_at(shared, endpoint, entry, tx, intended);
     }
 }
 
-pub(crate) fn submit(
+pub(crate) fn submit_at(
     shared: &Arc<Shared>,
     endpoint: &Endpoint<Msg>,
     entry: parblock_types::NodeId,
     tx: Transaction,
+    intended: Instant,
 ) {
     let signer = shared.spec.client_signer(tx.client());
     let sig = shared.keys.sign(signer, &tx.wire_bytes());
-    shared.metrics.record_submit(tx.id());
+    shared.metrics.record_submit_at(tx.id(), intended);
     endpoint.send(entry, Msg::Request { tx, sig });
 }

@@ -49,6 +49,7 @@ pub mod oxii;
 mod pool;
 mod quorum;
 pub mod runner;
+pub mod saturate;
 mod shared;
 pub mod sim;
 pub mod xov;
@@ -59,7 +60,9 @@ pub use cluster::{
 };
 pub use parblock_types::ExecutionMode;
 pub use metrics::{Metrics, RunReport};
+pub use parblock_types::ArrivalProcess;
 pub use runner::{run, run_fixed, run_fixed_from, run_fixed_with_faults, LoadSpec};
+pub use saturate::{saturate, saturate_sim, SaturateConfig, SaturateOutcome, SaturatePoint};
 pub use sim::{
     run_sim, FaultEvent, FaultKind, FaultPlan, OrdererOutcome, ReplicaOutcome, SimConfig,
     SimOutcome,

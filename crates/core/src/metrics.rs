@@ -5,6 +5,28 @@
 //! execute the messages and receive enough number of matching results
 //! from other executors, the transaction is counted as committed"
 //! (§V-C) — i.e. submit-at-client → commit-at-observer-peer.
+//!
+//! # Coordinated omission
+//!
+//! Latency is stamped from each transaction's **intended** arrival time
+//! ([`Metrics::record_submit_at`]), not the instant the driver actually
+//! managed to send it. A driver that stalls — generation hiccup, sleep
+//! overshoot, backpressure — submits late, and stamping at send time
+//! would silently subtract exactly the queueing delay the percentiles
+//! exist to expose (Tene's "coordinated omission"). With intended-time
+//! stamping a stalled tick *inflates* the reported latency of every
+//! delayed transaction instead of hiding it. The driver-side lag is
+//! additionally surfaced as [`RunReport::driver_overruns`] /
+//! [`RunReport::driver_max_lag`] so harness self-checks can tell driver
+//! pathology apart from system queueing.
+//!
+//! # Measurement windows
+//!
+//! [`Metrics::set_measurement_window`] marks the `[begin, end)` span of
+//! intended arrival times whose transactions count into the *measured*
+//! rate and the latency percentiles; warm-up and cool-down traffic is
+//! still tracked (and still commits) but contributes no samples. Without
+//! a window every transaction is measured (the legacy behaviour).
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -15,6 +37,10 @@ use parking_lot::Mutex;
 
 use parblock_ledger::DurabilityStats;
 use parblock_types::{Clock, TxId};
+
+/// Send lag at which a submission counts as a driver overrun — one
+/// pacing tick of the open-loop driver.
+const DRIVER_OVERRUN_LAG: Duration = Duration::from_millis(1);
 
 /// Shared metrics sink. Cloning shares the underlying state.
 #[derive(Debug, Clone, Default)]
@@ -29,7 +55,11 @@ struct Inner {
     /// scheduler so latency samples and the measurement window are a
     /// pure function of the schedule.
     clock: Clock,
-    submits: Mutex<HashMap<TxId, Instant>>,
+    /// Intended arrival instant and whether the transaction falls inside
+    /// the measurement window (always `true` when no window is set).
+    submits: Mutex<HashMap<TxId, (Instant, bool)>>,
+    /// `[begin, end)` of intended arrival times that count as measured.
+    measure_window: Mutex<Option<(Instant, Instant)>>,
     /// Ids already counted as committed or aborted; re-observations
     /// (quorum re-delivery, duplicate COMMIT processing) must not
     /// double-count, and a transaction resolves exactly one way.
@@ -39,6 +69,18 @@ struct Inner {
     committed: AtomicU64,
     aborted: AtomicU64,
     blocks: AtomicU64,
+    /// Driver-side open-loop accounting: total submissions, submissions
+    /// whose intended arrival fell inside the measurement window, and
+    /// commits of those measured submissions.
+    submitted: AtomicU64,
+    measured_submitted: AtomicU64,
+    measured_committed: AtomicU64,
+    /// Driver self-checks: submissions sent ≥ one pacing tick after
+    /// their intended arrival, the worst such lag (µs), and arrivals
+    /// shed by an admission-control cap instead of being submitted.
+    driver_overruns: AtomicU64,
+    driver_max_lag_us: AtomicU64,
+    admission_shed: AtomicU64,
     first_submit: Mutex<Option<Instant>>,
     last_commit: Mutex<Option<Instant>>,
     state_digest: Mutex<Option<parblock_types::Hash32>>,
@@ -82,14 +124,60 @@ impl Metrics {
         }
     }
 
-    /// Records a client submission (driver side).
+    /// Records a client submission (driver side), stamped at the current
+    /// instant — for drivers with no arrival schedule (XOV endorsement
+    /// flow, ad-hoc test submissions). Open-loop drivers use
+    /// [`Metrics::record_submit_at`] instead.
     pub fn record_submit(&self, tx: TxId) {
         let now = self.inner.clock.now();
-        self.inner.submits.lock().insert(tx, now);
+        self.record_submit_at(tx, now);
+    }
+
+    /// Records a client submission stamped at its **intended** arrival
+    /// instant, which may be earlier than now if the driver is running
+    /// behind schedule — the commit latency then includes the driver-side
+    /// queueing delay instead of silently omitting it (see the module
+    /// docs on coordinated omission). Send lag of at least one pacing
+    /// tick is counted as a driver overrun.
+    pub fn record_submit_at(&self, tx: TxId, intended: Instant) {
+        let now = self.inner.clock.now();
+        let lag = now.saturating_duration_since(intended);
+        if lag >= DRIVER_OVERRUN_LAG {
+            self.inner.driver_overruns.fetch_add(1, Ordering::Relaxed);
+        }
+        self.inner
+            .driver_max_lag_us
+            .fetch_max(lag.as_micros() as u64, Ordering::Relaxed);
+        let measured = self
+            .inner
+            .measure_window
+            .lock()
+            .is_none_or(|(begin, end)| intended >= begin && intended < end);
+        self.inner.submitted.fetch_add(1, Ordering::Relaxed);
+        if measured {
+            self.inner.measured_submitted.fetch_add(1, Ordering::Relaxed);
+        }
+        self.inner.submits.lock().insert(tx, (intended, measured));
         let mut first = self.inner.first_submit.lock();
         if first.is_none() {
-            *first = Some(now);
+            *first = Some(intended);
         }
+    }
+
+    /// Marks the `[begin, end)` span of intended arrival times whose
+    /// transactions count into [`RunReport::measured_submitted`] /
+    /// [`RunReport::measured_committed`] and the latency samples. Call
+    /// before the first submission; traffic outside the window (warm-up,
+    /// cool-down) is tracked but contributes no samples.
+    pub fn set_measurement_window(&self, begin: Instant, end: Instant) {
+        *self.inner.measure_window.lock() = Some((begin, end));
+    }
+
+    /// Records one arrival shed by the driver's admission-control cap
+    /// (never submitted, so it can neither commit nor count as
+    /// outstanding — only this counter remembers it).
+    pub fn record_admission_shed(&self) {
+        self.inner.admission_shed.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records a commit observed at the designated observer peer.
@@ -105,9 +193,12 @@ impl Metrics {
         }
         let now = self.inner.clock.now();
         self.inner.committed.fetch_add(1, Ordering::Relaxed);
-        if let Some(submitted) = self.inner.submits.lock().remove(&tx) {
-            let micros = now.duration_since(submitted).as_micros() as u64;
-            self.inner.latencies.lock().push(micros);
+        if let Some((intended, measured)) = self.inner.submits.lock().remove(&tx) {
+            if measured {
+                let micros = now.saturating_duration_since(intended).as_micros() as u64;
+                self.inner.latencies.lock().push(micros);
+                self.inner.measured_committed.fetch_add(1, Ordering::Relaxed);
+            }
         }
         *self.inner.last_commit.lock() = Some(now);
     }
@@ -241,6 +332,13 @@ impl Metrics {
             _ => Duration::ZERO,
         };
         let durability = *self.inner.durability.lock();
+        let measure_window = self
+            .inner
+            .measure_window
+            .lock()
+            .map_or(Duration::ZERO, |(begin, end)| {
+                end.saturating_duration_since(begin)
+            });
         RunReport {
             committed: self.inner.committed.load(Ordering::Relaxed),
             aborted: self.inner.aborted.load(Ordering::Relaxed),
@@ -263,12 +361,21 @@ impl Metrics {
             validation_passes: self.inner.validation_passes.load(Ordering::Relaxed),
             aborts: self.inner.spec_aborts.load(Ordering::Relaxed),
             re_executions: self.inner.re_executions.load(Ordering::Relaxed),
+            submitted: self.inner.submitted.load(Ordering::Relaxed),
+            measured_submitted: self.inner.measured_submitted.load(Ordering::Relaxed),
+            measured_committed: self.inner.measured_committed.load(Ordering::Relaxed),
+            measure_window,
+            driver_overruns: self.inner.driver_overruns.load(Ordering::Relaxed),
+            driver_max_lag: Duration::from_micros(
+                self.inner.driver_max_lag_us.load(Ordering::Relaxed),
+            ),
+            admission_shed: self.inner.admission_shed.load(Ordering::Relaxed),
         }
     }
 }
 
 /// The outcome of one experiment run.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RunReport {
     /// Transactions committed at the observer.
     pub committed: u64,
@@ -320,6 +427,29 @@ pub struct RunReport {
     pub aborts: u64,
     /// Re-dispatched incarnations (every abort that was retried).
     pub re_executions: u64,
+    /// Total client submissions recorded by the sink (all phases).
+    pub submitted: u64,
+    /// Submissions whose intended arrival fell inside the measurement
+    /// window (equals [`RunReport::submitted`] when no window was set).
+    pub measured_submitted: u64,
+    /// Commits of measured submissions — the numerator of
+    /// [`RunReport::achieved_tps`], and exactly the population the
+    /// latency percentiles are drawn from (plus any measured
+    /// transactions still outstanding; report those alongside the
+    /// percentiles or the tail is survivor-biased).
+    pub measured_committed: u64,
+    /// Length of the `[begin, end)` measurement window (zero when none
+    /// was set and every transaction was measured).
+    pub measure_window: Duration,
+    /// Submissions sent ≥ one pacing tick after their intended arrival —
+    /// the driver, not the system, was behind. A healthy open-loop run
+    /// keeps this near zero; see the module docs on coordinated omission.
+    pub driver_overruns: u64,
+    /// Worst send lag behind the intended arrival schedule.
+    pub driver_max_lag: Duration,
+    /// Arrivals shed by the driver's admission-control cap (never
+    /// submitted; excluded from every other counter).
+    pub admission_shed: u64,
 }
 
 impl RunReport {
@@ -365,6 +495,22 @@ impl RunReport {
             self.aborts.encode(&mut bytes);
             self.re_executions.encode(&mut bytes);
         }
+        // Same convention for the open-loop driver counters (added later
+        // still): an all-zero group keeps the historical encoding.
+        let driver_group = [
+            self.submitted,
+            self.measured_submitted,
+            self.measured_committed,
+            self.measure_window.as_nanos() as u64,
+            self.driver_overruns,
+            self.driver_max_lag.as_nanos() as u64,
+            self.admission_shed,
+        ];
+        if driver_group.iter().any(|&v| v != 0) {
+            for v in driver_group {
+                v.encode(&mut bytes);
+            }
+        }
         parblock_crypto::sha256(&bytes)
     }
 
@@ -377,6 +523,18 @@ impl RunReport {
         self.committed as f64 / self.window.as_secs_f64()
     }
 
+    /// Achieved throughput over the *measurement* window: commits of
+    /// measured submissions divided by the window length. Falls back to
+    /// [`RunReport::throughput_tps`] when no window was set. This is the
+    /// rate the saturation sweep compares against the offered rate.
+    #[must_use]
+    pub fn achieved_tps(&self) -> f64 {
+        if self.measure_window.is_zero() {
+            return self.throughput_tps();
+        }
+        self.measured_committed as f64 / self.measure_window.as_secs_f64()
+    }
+
     /// Mean end-to-end latency.
     #[must_use]
     pub fn avg_latency(&self) -> Duration {
@@ -387,7 +545,12 @@ impl RunReport {
         Duration::from_micros(sum / self.latencies_us.len() as u64)
     }
 
-    /// Latency percentile (`p` in `0.0..=1.0`).
+    /// Latency percentile (`p` in `0.0..=1.0`), by the nearest-rank
+    /// definition: the smallest sample such that at least `p·N` samples
+    /// are ≤ it (`p = 0` returns the minimum). Unlike interpolating or
+    /// rounding definitions this always returns an observed sample and
+    /// never understates the tail: p99 over 100 samples is the 99th
+    /// smallest, not a blend with the 100th.
     ///
     /// # Panics
     ///
@@ -395,11 +558,13 @@ impl RunReport {
     #[must_use]
     pub fn latency_percentile(&self, p: f64) -> Duration {
         assert!((0.0..=1.0).contains(&p), "percentile must be in [0, 1]");
-        if self.latencies_us.is_empty() {
+        let n = self.latencies_us.len();
+        if n == 0 {
             return Duration::ZERO;
         }
-        let idx = ((self.latencies_us.len() - 1) as f64 * p).round() as usize;
-        Duration::from_micros(self.latencies_us[idx])
+        let rank = (p * n as f64).ceil() as usize;
+        let idx = rank.max(1) - 1;
+        Duration::from_micros(self.latencies_us[idx.min(n - 1)])
     }
 
     /// The deepest pipeline overlap the observer recorded: the largest
@@ -519,29 +684,35 @@ mod tests {
     fn percentiles_on_known_distribution() {
         let r = RunReport {
             committed: 100,
-            aborted: 0,
-            outstanding: 0,
             blocks: 1,
             window: Duration::from_secs(1),
             latencies_us: (1..=100).collect(),
-            state_digest: None,
-            ledger_head: None,
-            pipeline_occupancy: Vec::new(),
-            boundary_stall: Duration::ZERO,
-            boundary_stalls: 0,
-            wal_bytes_written: 0,
-            fsync_count: 0,
-            checkpoint_count: 0,
-            recovery_replay_len: 0,
-            messages: 0,
-            validation_passes: 0,
-            aborts: 0,
-            re_executions: 0,
+            ..RunReport::default()
         };
+        // Nearest rank: the k-th percentile of 1..=100 is exactly k.
         assert_eq!(r.latency_percentile(0.0), Duration::from_micros(1));
         assert_eq!(r.latency_percentile(1.0), Duration::from_micros(100));
-        assert_eq!(r.latency_percentile(0.5), Duration::from_micros(51));
+        assert_eq!(r.latency_percentile(0.5), Duration::from_micros(50));
+        assert_eq!(r.latency_percentile(0.99), Duration::from_micros(99));
+        assert_eq!(r.latency_percentile(0.999), Duration::from_micros(100));
         assert_eq!(r.avg_latency(), Duration::from_micros(50));
+    }
+
+    #[test]
+    fn nearest_rank_on_tiny_samples() {
+        let one = RunReport {
+            latencies_us: vec![7],
+            ..RunReport::default()
+        };
+        for p in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(one.latency_percentile(p), Duration::from_micros(7));
+        }
+        let two = RunReport {
+            latencies_us: vec![3, 9],
+            ..RunReport::default()
+        };
+        assert_eq!(two.latency_percentile(0.5), Duration::from_micros(3));
+        assert_eq!(two.latency_percentile(0.51), Duration::from_micros(9));
     }
 
     #[test]
@@ -627,6 +798,103 @@ mod tests {
         r.validation_passes = 1;
         assert_ne!(r.digest(), legacy);
         r.validation_passes = 0;
+        assert_eq!(r.digest(), legacy);
+    }
+
+    #[test]
+    fn stalled_submit_inflates_latency_instead_of_hiding_it() {
+        // Coordinated omission: the driver intended to send at t=0 but
+        // only managed at t=5ms; the commit at t=6ms must report 6ms of
+        // latency (queueing included), not the 1ms since the send.
+        let clock = Clock::simulated();
+        let m = Metrics::with_clock(clock.clone());
+        let intended = clock.now();
+        clock.advance(Duration::from_millis(5));
+        m.record_submit_at(tx(1), intended);
+        clock.advance(Duration::from_millis(1));
+        m.record_commit(tx(1));
+        let r = m.report();
+        assert_eq!(r.latencies_us, vec![6_000], "latency must include the stall");
+        assert_eq!(r.driver_overruns, 1, "a 5ms send lag is an overrun");
+        assert_eq!(r.driver_max_lag, Duration::from_millis(5));
+
+        // An on-schedule submit is not an overrun.
+        let m = Metrics::with_clock(clock.clone());
+        m.record_submit_at(tx(2), clock.now());
+        m.record_commit(tx(2));
+        let r = m.report();
+        assert_eq!(r.driver_overruns, 0);
+        assert_eq!(r.driver_max_lag, Duration::ZERO);
+    }
+
+    #[test]
+    fn measurement_window_filters_samples_but_not_commits() {
+        let clock = Clock::simulated();
+        let m = Metrics::with_clock(clock.clone());
+        let start = clock.now();
+        m.set_measurement_window(
+            start + Duration::from_millis(10),
+            start + Duration::from_millis(20),
+        );
+        // Warm-up (before), measured (inside), cool-down (at end, exclusive).
+        m.record_submit_at(tx(1), start);
+        m.record_submit_at(tx(2), start + Duration::from_millis(10));
+        m.record_submit_at(tx(3), start + Duration::from_millis(20));
+        clock.advance(Duration::from_millis(25));
+        m.record_commit(tx(1));
+        m.record_commit(tx(2));
+        m.record_commit(tx(3));
+        let r = m.report();
+        assert_eq!(r.committed, 3, "warm-up traffic still commits");
+        assert_eq!(r.submitted, 3);
+        assert_eq!(r.measured_submitted, 1, "only the in-window arrival");
+        assert_eq!(r.measured_committed, 1);
+        assert_eq!(
+            r.latencies_us.len(),
+            1,
+            "warm-up/cool-down must not contribute samples"
+        );
+        assert_eq!(r.latencies_us[0], 15_000, "stamped from intended arrival");
+        assert_eq!(r.measure_window, Duration::from_millis(10));
+        assert!((r.achieved_tps() - 100.0).abs() < 1e-9, "1 commit / 10 ms");
+    }
+
+    #[test]
+    fn no_window_measures_everything() {
+        let m = Metrics::new();
+        m.record_submit(tx(1));
+        m.record_commit(tx(1));
+        let r = m.report();
+        assert_eq!(r.submitted, 1);
+        assert_eq!(r.measured_submitted, 1);
+        assert_eq!(r.measured_committed, 1);
+        assert_eq!(r.measure_window, Duration::ZERO);
+    }
+
+    #[test]
+    fn admission_shed_is_counted_separately() {
+        let m = Metrics::new();
+        m.record_submit(tx(1));
+        m.record_admission_shed();
+        m.record_admission_shed();
+        let r = m.report();
+        assert_eq!(r.admission_shed, 2);
+        assert_eq!(r.submitted, 1, "shed arrivals were never submitted");
+    }
+
+    #[test]
+    fn zero_driver_counters_keep_the_historical_digest() {
+        // Same convention as the speculation counters: the open-loop
+        // driver fields entered the report after seeds were pinned, so an
+        // all-zero group must hash exactly as before they existed.
+        let mut r = RunReport::default();
+        let legacy = r.digest();
+        r.driver_overruns = 1;
+        assert_ne!(r.digest(), legacy);
+        r.driver_overruns = 0;
+        r.measure_window = Duration::from_secs(1);
+        assert_ne!(r.digest(), legacy);
+        r.measure_window = Duration::ZERO;
         assert_eq!(r.digest(), legacy);
     }
 

@@ -20,6 +20,7 @@ use std::time::Duration;
 
 use parblock_consensus::ProtocolConfig;
 use parblock_net::{Faults, NetworkBuilder, SimNetwork};
+use parblock_types::ArrivalProcess;
 
 use crate::cluster::{ClusterSpec, ConsensusKind, SystemKind};
 use crate::hostcons::AnyConsensus;
@@ -38,6 +39,23 @@ pub struct LoadSpec {
     /// Grace period after submission stops, letting in-flight
     /// transactions commit before measurement ends.
     pub drain: Duration,
+    /// Shape of the arrival process (uniform, Poisson, bursty). The
+    /// schedule is seeded from the cluster seed, so two runs of the same
+    /// spec offer identical arrival instants.
+    pub arrival: ArrivalProcess,
+    /// Initial span of `duration` whose arrivals are excluded from the
+    /// measured rate and the latency percentiles (pipelines filling,
+    /// caches cold). Zero measures from the first arrival.
+    pub warmup: Duration,
+    /// Final span of `duration` excluded from measurement (transactions
+    /// arriving this late race the end of the run). Zero measures to the
+    /// last arrival.
+    pub cooldown: Duration,
+    /// Admission-control cap: arrivals finding this many transactions
+    /// already in flight are shed (counted in
+    /// [`RunReport::admission_shed`], never submitted). `None` submits
+    /// unconditionally — the honest open-loop default.
+    pub max_outstanding: Option<u64>,
 }
 
 impl Default for LoadSpec {
@@ -46,6 +64,10 @@ impl Default for LoadSpec {
             rate_tps: 1_000.0,
             duration: Duration::from_secs(1),
             drain: Duration::from_millis(800),
+            arrival: ArrivalProcess::Uniform,
+            warmup: Duration::ZERO,
+            cooldown: Duration::ZERO,
+            max_outstanding: None,
         }
     }
 }
@@ -100,11 +122,22 @@ pub fn run(spec: &ClusterSpec, load: &LoadSpec) -> RunReport {
         handles.push(handle);
     }
 
-    // Client driver (runs on the caller thread).
+    // Client driver (runs on the caller thread). The measurement window
+    // is anchored to the driver's schedule origin so warm-up/cool-down
+    // spans cut on *intended* arrival times.
     let client_endpoint = net.endpoint(spec.client_node());
+    let drive_start = shared.clock.now();
+    if (!load.warmup.is_zero() || !load.cooldown.is_zero())
+        && load.warmup + load.cooldown < load.duration
+    {
+        shared.metrics.set_measurement_window(
+            drive_start + load.warmup,
+            drive_start + (load.duration - load.cooldown),
+        );
+    }
     match spec.system {
         SystemKind::Oxii | SystemKind::Ox => {
-            driver::run_driver(&shared, &client_endpoint, load.rate_tps, load.duration);
+            driver::run_driver(&shared, &client_endpoint, load, drive_start);
         }
         SystemKind::Xov => {
             xov::run_xov_driver(&shared, &client_endpoint, load.rate_tps, load.duration);
@@ -280,6 +313,7 @@ mod tests {
             rate_tps: rate,
             duration: Duration::from_millis(400),
             drain: Duration::from_millis(400),
+            ..LoadSpec::default()
         }
     }
 

@@ -1,0 +1,348 @@
+//! Open-loop saturation sweeps (DESIGN.md §13): rate-vs-latency curves
+//! with honest percentiles and a detected knee.
+//!
+//! A sweep drives the cluster at each offered rate of a schedule for a
+//! fixed window — explicit warm-up and cool-down phases excluded from
+//! measurement — and records, per step, the achieved rate alongside
+//! p50/p99/p999 commit latency. Because the driver is open-loop with
+//! intended-arrival-time stamping (see the `driver` module), a step past
+//! the system's capacity shows queueing-inflated percentiles instead of
+//! the flat, survivor-biased curve a closed-loop driver would report.
+//!
+//! The **knee** is the highest offered rate the system still keeps up
+//! with: achieved ≥ `knee_tolerance` × offered (0.99 by default —
+//! matching the pacing-accuracy bound the driver regression test
+//! enforces below saturation). The sweep stops early once achieved
+//! collapses below `stop_ratio` × offered; further points would only
+//! measure queue growth.
+//!
+//! Two legs share this module: [`saturate`] runs the threaded cluster in
+//! real time, [`saturate_sim`] runs the same sweep on the deterministic
+//! virtual-time simulator, where a repeated seed reproduces the curve
+//! bit-for-bit (the property `crates/sim/tests/saturate_determinism.rs`
+//! pins).
+
+use std::time::Duration;
+
+use parblock_types::ArrivalProcess;
+use parblock_workload::ArrivalGen;
+
+use crate::cluster::ClusterSpec;
+use crate::metrics::RunReport;
+use crate::runner::{run, LoadSpec};
+use crate::sim::{run_sim, SimConfig};
+
+/// One saturation sweep: a rate schedule plus the per-step load shape.
+#[derive(Debug, Clone)]
+pub struct SaturateConfig {
+    /// The cluster under test.
+    pub spec: ClusterSpec,
+    /// Offered rates to sweep, in order (transactions per second).
+    pub rates: Vec<f64>,
+    /// Arrival process of every step.
+    pub arrival: ArrivalProcess,
+    /// Submission span of one step (warm-up and cool-down included).
+    pub duration: Duration,
+    /// Initial span of `duration` excluded from measurement.
+    pub warmup: Duration,
+    /// Final span of `duration` excluded from measurement.
+    pub cooldown: Duration,
+    /// Post-submission grace for in-flight commits.
+    pub drain: Duration,
+    /// Optional admission-control cap on in-flight transactions.
+    pub max_outstanding: Option<u64>,
+    /// Achieved/offered ratio that still counts as keeping up (knee
+    /// detection).
+    pub knee_tolerance: f64,
+    /// Stop the sweep once achieved/offered falls below this — the
+    /// system is past saturation and later points only measure queues.
+    pub stop_ratio: f64,
+}
+
+impl SaturateConfig {
+    /// A sweep over `rates` with the default step shape: 2 s per step
+    /// (400 ms warm-up, 200 ms cool-down), uniform arrivals, no
+    /// admission cap, 0.99 knee tolerance, 0.7 stop ratio.
+    #[must_use]
+    pub fn new(spec: ClusterSpec, rates: Vec<f64>) -> Self {
+        SaturateConfig {
+            spec,
+            rates,
+            arrival: ArrivalProcess::Uniform,
+            duration: Duration::from_secs(2),
+            warmup: Duration::from_millis(400),
+            cooldown: Duration::from_millis(200),
+            drain: Duration::from_millis(800),
+            max_outstanding: None,
+            knee_tolerance: 0.99,
+            stop_ratio: 0.7,
+        }
+    }
+
+    /// The measured span of one step (`duration − warmup − cooldown`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when warm-up plus cool-down leaves no measured span.
+    #[must_use]
+    pub fn measured_span(&self) -> Duration {
+        let phases = self.warmup + self.cooldown;
+        assert!(
+            phases < self.duration,
+            "warm-up + cool-down ({phases:?}) must leave a measured span of {:?}",
+            self.duration
+        );
+        self.duration - phases
+    }
+}
+
+/// One step of a saturation sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SaturatePoint {
+    /// Target arrival rate (tps).
+    pub offered_tps: f64,
+    /// Commits of measured arrivals over the measured span (tps).
+    pub achieved_tps: f64,
+    /// Arrivals whose intended time fell in the measured span.
+    pub measured_submitted: u64,
+    /// Commits of those arrivals — the latency-sample population.
+    pub measured_committed: u64,
+    /// Submissions still unresolved when the step ended. Reported next
+    /// to the percentiles on purpose: samples only exist for commits, so
+    /// a large `outstanding` means the true tail is *worse* than p999
+    /// (survivor bias) and the step is past saturation.
+    pub outstanding: u64,
+    /// Median commit latency (intended-arrival → commit).
+    pub p50: Duration,
+    /// 99th-percentile commit latency.
+    pub p99: Duration,
+    /// 99.9th-percentile commit latency.
+    pub p999: Duration,
+    /// Driver self-check: submissions sent ≥ 1 ms late. Nonzero here
+    /// with achieved ≈ offered is harmless catch-up; large values mean
+    /// the *driver* saturated, not the system.
+    pub driver_overruns: u64,
+    /// Worst driver send lag behind the intended schedule.
+    pub driver_max_lag: Duration,
+    /// Arrivals shed by the admission cap (zero without one).
+    pub admission_shed: u64,
+}
+
+impl SaturatePoint {
+    /// Derives a sweep point from one run's report.
+    #[must_use]
+    pub fn from_report(offered_tps: f64, report: &RunReport) -> Self {
+        SaturatePoint {
+            offered_tps,
+            achieved_tps: report.achieved_tps(),
+            measured_submitted: report.measured_submitted,
+            measured_committed: report.measured_committed,
+            outstanding: report.outstanding,
+            p50: report.latency_percentile(0.50),
+            p99: report.latency_percentile(0.99),
+            p999: report.latency_percentile(0.999),
+            driver_overruns: report.driver_overruns,
+            driver_max_lag: report.driver_max_lag,
+            admission_shed: report.admission_shed,
+        }
+    }
+
+    /// Whether this step kept up with its offered rate.
+    #[must_use]
+    pub fn keeps_up(&self, tolerance: f64) -> bool {
+        self.achieved_tps >= tolerance * self.offered_tps
+    }
+}
+
+/// A completed sweep: the curve plus the detected knee.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SaturateOutcome {
+    /// One point per swept rate, in schedule order (the sweep may have
+    /// stopped early past saturation — compare against the configured
+    /// rates to see how far it got).
+    pub points: Vec<SaturatePoint>,
+    /// The saturation knee: the highest offered rate whose step kept up
+    /// (achieved ≥ tolerance × offered). `None` when no step kept up —
+    /// the schedule started past saturation.
+    pub knee_tps: Option<f64>,
+}
+
+impl SaturateOutcome {
+    fn from_points(points: Vec<SaturatePoint>, tolerance: f64) -> Self {
+        let knee_tps = points
+            .iter()
+            .filter(|p| p.keeps_up(tolerance))
+            .map(|p| p.offered_tps)
+            .fold(None, |acc: Option<f64>, r| {
+                Some(acc.map_or(r, |a| a.max(r)))
+            });
+        SaturateOutcome { points, knee_tps }
+    }
+}
+
+/// Runs the sweep on the threaded cluster in real time. One fresh
+/// cluster per step — no state leaks across rates.
+///
+/// # Panics
+///
+/// Panics on an empty measured span (see
+/// [`SaturateConfig::measured_span`]) or on inconsistent cluster specs.
+#[must_use]
+pub fn saturate(config: &SaturateConfig) -> SaturateOutcome {
+    let _ = config.measured_span();
+    let mut points = Vec::with_capacity(config.rates.len());
+    for &rate in &config.rates {
+        let load = LoadSpec {
+            rate_tps: rate,
+            duration: config.duration,
+            drain: config.drain,
+            arrival: config.arrival,
+            warmup: config.warmup,
+            cooldown: config.cooldown,
+            max_outstanding: config.max_outstanding,
+        };
+        let report = run(&config.spec, &load);
+        let point = SaturatePoint::from_report(rate, &report);
+        let stop = !point.keeps_up(config.stop_ratio);
+        points.push(point);
+        if stop {
+            break;
+        }
+    }
+    SaturateOutcome::from_points(points, config.knee_tolerance)
+}
+
+/// Runs the same sweep on the deterministic virtual-time simulator
+/// (OXII only): every step is a [`run_sim`] with the step's arrival
+/// schedule and measurement window, so the whole curve — achieved
+/// rates, every percentile — is a pure function of the spec's seed and
+/// reproduces bit-for-bit.
+///
+/// # Panics
+///
+/// Panics on non-OXII specs or an empty measured span.
+#[must_use]
+pub fn saturate_sim(config: &SaturateConfig) -> SaturateOutcome {
+    let _ = config.measured_span();
+    let mut points = Vec::with_capacity(config.rates.len());
+    for &rate in &config.rates {
+        // The step submits exactly the arrivals of [0, duration) — the
+        // same schedule the threaded driver would pace.
+        let count = ArrivalGen::new(config.arrival, rate, config.spec.seed)
+            .take_until(config.duration)
+            .len();
+        let mut sim = SimConfig::new(config.spec.clone(), count, rate);
+        sim.arrival = config.arrival;
+        sim.measure = Some((config.warmup, config.duration - config.cooldown));
+        sim.virtual_deadline = config.duration + config.drain;
+        let outcome = run_sim(&sim);
+        let point = SaturatePoint::from_report(rate, &outcome.report);
+        let stop = !point.keeps_up(config.stop_ratio);
+        points.push(point);
+        if stop {
+            break;
+        }
+    }
+    SaturateOutcome::from_points(points, config.knee_tolerance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{DurabilityMode, SystemKind};
+
+    fn sweep_spec() -> ClusterSpec {
+        let mut spec = ClusterSpec::new(SystemKind::Oxii);
+        spec.block_cut = parblock_types::BlockCutConfig {
+            max_txns: 25,
+            max_bytes: usize::MAX,
+            max_wait: Duration::from_millis(10),
+        };
+        spec.costs = parblock_types::ExecutionCosts::per_tx(Duration::from_micros(500));
+        // Full contention makes each block's dependency graph a chain, so
+        // virtual execution is serialized at 500 µs/tx — a hard capacity
+        // of 2 000 tps the sweep must find (the simulator's inline queue
+        // has no lane limit; only dependencies bound its throughput).
+        spec.workload.contention = 1.0;
+        spec.durability = DurabilityMode::InMemory;
+        spec.seed = 42;
+        spec
+    }
+
+    fn quick_config(rates: Vec<f64>) -> SaturateConfig {
+        let mut config = SaturateConfig::new(sweep_spec(), rates);
+        config.duration = Duration::from_millis(600);
+        config.warmup = Duration::from_millis(150);
+        config.cooldown = Duration::from_millis(100);
+        config.drain = Duration::from_millis(300);
+        config
+    }
+
+    #[test]
+    fn sim_sweep_finds_a_knee_and_stops_past_saturation() {
+        // Chained execution at 500 µs/tx caps the cluster at 2 000 tps;
+        // the sweep must keep up well below that and collapse well
+        // above it.
+        let config = quick_config(vec![500.0, 1_000.0, 20_000.0, 40_000.0]);
+        let outcome = saturate_sim(&config);
+        assert!(outcome.points.len() >= 3, "{outcome:?}");
+        assert!(outcome.points[0].keeps_up(0.99), "{:?}", outcome.points[0]);
+        assert!(outcome.points[1].keeps_up(0.99), "{:?}", outcome.points[1]);
+        let knee = outcome.knee_tps.expect("two rates kept up");
+        assert!((1_000.0..20_000.0).contains(&knee), "knee {knee}");
+        let last = outcome.points.last().unwrap();
+        assert!(
+            !last.keeps_up(config.stop_ratio),
+            "sweep should stop on collapse: {last:?}"
+        );
+        assert!(
+            outcome.points.len() < config.rates.len()
+                || !outcome.points.last().unwrap().keeps_up(config.knee_tolerance),
+            "past-saturation points after a collapse"
+        );
+        // Past the knee the queueing delay must show up in the tail.
+        assert!(
+            last.p99 > outcome.points[0].p99,
+            "saturated p99 {:?} vs idle p99 {:?}",
+            last.p99,
+            outcome.points[0].p99
+        );
+    }
+
+    #[test]
+    fn sim_sweep_is_bit_reproducible() {
+        let config = quick_config(vec![800.0, 2_000.0]);
+        let a = saturate_sim(&config);
+        let b = saturate_sim(&config);
+        assert_eq!(a, b, "same seed must reproduce the curve bit-for-bit");
+    }
+
+    #[test]
+    fn knee_is_none_when_nothing_keeps_up() {
+        let outcome = SaturateOutcome::from_points(
+            vec![SaturatePoint {
+                offered_tps: 1_000.0,
+                achieved_tps: 100.0,
+                measured_submitted: 1_000,
+                measured_committed: 100,
+                outstanding: 900,
+                p50: Duration::ZERO,
+                p99: Duration::ZERO,
+                p999: Duration::ZERO,
+                driver_overruns: 0,
+                driver_max_lag: Duration::ZERO,
+                admission_shed: 0,
+            }],
+            0.99,
+        );
+        assert_eq!(outcome.knee_tps, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "must leave a measured span")]
+    fn degenerate_window_panics() {
+        let mut config = SaturateConfig::new(sweep_spec(), vec![100.0]);
+        config.warmup = config.duration;
+        let _ = saturate(&config);
+    }
+}

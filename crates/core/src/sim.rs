@@ -30,8 +30,8 @@ use std::time::{Duration, Instant};
 
 use parblock_consensus::ProtocolConfig;
 use parblock_net::{NetworkBuilder, SimNetwork};
-use parblock_types::{Block, BlockNumber, Clock, Hash32, NodeId, Transaction, TxId};
-use parblock_workload::WorkloadGen;
+use parblock_types::{ArrivalProcess, Block, BlockNumber, Clock, Hash32, NodeId, Transaction, TxId};
+use parblock_workload::{ArrivalGen, WorkloadGen};
 
 use crate::cluster::{ClusterSpec, ConsensusKind, DurabilityMode, SystemKind};
 use crate::hostcons::AnyConsensus;
@@ -163,6 +163,15 @@ pub struct SimConfig {
     pub count: usize,
     /// Open-loop submission rate in virtual transactions per second.
     pub rate_tps: f64,
+    /// Shape of the virtual arrival process. [`ArrivalProcess::Uniform`]
+    /// reproduces the simulator's historical closed-form schedule
+    /// bit-for-bit, so pinned exploration seeds replay unchanged.
+    pub arrival: ArrivalProcess,
+    /// Measurement window as `(begin, end)` offsets from run start on
+    /// *intended* arrival times (see
+    /// [`crate::Metrics::set_measurement_window`]); `None` measures
+    /// everything (the historical behaviour).
+    pub measure: Option<(Duration, Duration)>,
     /// Hard cap on virtual time; a run that has not drained by then is
     /// reported with `completed = false` instead of hanging.
     pub virtual_deadline: Duration,
@@ -178,6 +187,8 @@ impl SimConfig {
             spec,
             count,
             rate_tps,
+            arrival: ArrivalProcess::Uniform,
+            measure: None,
             virtual_deadline: Duration::from_secs(30),
             plan: FaultPlan::none(),
         }
@@ -419,21 +430,30 @@ pub fn run_sim(config: &SimConfig) -> SimOutcome {
     let client = cluster.net.endpoint(config.spec.client_node());
     let entry = config.spec.entry_orderer();
 
-    // The deterministic workload prefix this run submits.
+    // The deterministic workload prefix this run submits, with its
+    // intended virtual arrival schedule. For the Uniform process the
+    // offsets are bit-identical to the historical closed-form
+    // `(1e9 / rate) as u64 * i`, so pinned seeds replay unchanged.
     let txs: Vec<Transaction> =
         WorkloadGen::new(config.spec.workload_config()).take_txs(config.count);
     let submitted: Vec<TxId> = txs.iter().map(Transaction::id).collect();
-    let interval_ns = if config.rate_tps > 0.0 {
-        (1e9 / config.rate_tps) as u64
+    let offsets: Vec<Duration> = if config.rate_tps > 0.0 {
+        let mut arrivals = ArrivalGen::new(config.arrival, config.rate_tps, config.spec.seed);
+        (0..config.count).map(|_| arrivals.next_offset()).collect()
     } else {
-        0
+        vec![Duration::ZERO; config.count]
     };
 
     let start = clock.now();
     let deadline = start + config.virtual_deadline;
     let expected = config.count as u64;
-    let submit_at =
-        |i: usize| start + Duration::from_nanos(interval_ns.saturating_mul(i as u64));
+    let submit_at = |i: usize| start + offsets[i];
+    if let Some((begin, end)) = config.measure {
+        cluster
+            .shared
+            .metrics
+            .set_measurement_window(start + begin, start + end);
+    }
 
     let mut next_submit = 0usize;
     let mut next_fault = 0usize;
@@ -450,9 +470,16 @@ pub fn run_sim(config: &SimConfig) -> SimOutcome {
             next_fault += 1;
         }
 
-        // 2. Driver submissions due.
+        // 2. Driver submissions due, stamped at their intended arrival
+        // (== now except when several events share an instant).
         while next_submit < txs.len() && submit_at(next_submit) <= now {
-            driver::submit(&cluster.shared, &client, entry, txs[next_submit].clone());
+            driver::submit_at(
+                &cluster.shared,
+                &client,
+                entry,
+                txs[next_submit].clone(),
+                submit_at(next_submit),
+            );
             next_submit += 1;
         }
 

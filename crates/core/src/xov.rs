@@ -314,9 +314,9 @@ pub(crate) fn run_xov_driver(
     let mut buffer: std::collections::VecDeque<Transaction> = Default::default();
     let mut pending: HashMap<TxId, PendingTx> = HashMap::new();
     let entry = shared.spec.entry_orderer();
-    let per_tick = rate_tps * TICK.as_secs_f64();
     let mut acc = 0.0f64;
     let start = shared.clock.now();
+    let mut last_accrual = start;
 
     while !shared.stop.load(Ordering::Relaxed) {
         let in_submit_window = shared.clock.now().duration_since(start) < duration;
@@ -325,7 +325,11 @@ pub(crate) fn run_xov_driver(
         }
         let tick_start = shared.clock.now();
         if in_submit_window {
-            acc += per_tick;
+            // Accrue budget by the time actually elapsed, not one tick
+            // per iteration: an endorsement phase that overruns its tick
+            // must not silently shrink the offered rate (pacing drift).
+            acc += rate_tps * tick_start.duration_since(last_accrual).as_secs_f64();
+            last_accrual = tick_start;
             let n = acc.floor() as usize;
             acc -= n as f64;
             for _ in 0..n {

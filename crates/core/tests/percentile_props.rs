@@ -1,0 +1,121 @@
+//! Property tests pinning `RunReport::latency_percentile` to a naive
+//! nearest-rank reference, plus the survivor-bias guard on sweep points.
+//!
+//! The reference is deliberately implemented by *counting*, not
+//! indexing: the p-th percentile is the smallest sample with at least
+//! `p·N` samples at or below it. Any indexing bug in the fast path
+//! (off-by-one at rank boundaries, tie mishandling, rounding that
+//! understates the tail) diverges from the count.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use parblockchain::{RunReport, SaturatePoint};
+
+/// Counting definition of the nearest-rank percentile.
+fn reference_percentile(sorted: &[u64], p: f64) -> u64 {
+    let n = sorted.len() as f64;
+    for &v in sorted {
+        let at_or_below = sorted.iter().filter(|&&x| x <= v).count() as f64;
+        if at_or_below >= p * n {
+            return v;
+        }
+    }
+    *sorted.last().expect("non-empty")
+}
+
+fn report_with(samples: Vec<u64>) -> RunReport {
+    let mut sorted = samples;
+    sorted.sort_unstable();
+    RunReport {
+        latencies_us: sorted,
+        ..RunReport::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The fast indexed path agrees with the counting reference on
+    /// arbitrary samples (duplicates included — small value range forces
+    /// ties) and arbitrary percentiles.
+    #[test]
+    fn percentile_matches_counting_reference(
+        samples in proptest::collection::vec(0u64..50, 1..120),
+        p_mill in 0u32..=1000,
+    ) {
+        let p = f64::from(p_mill) / 1000.0;
+        let report = report_with(samples);
+        let expected = reference_percentile(&report.latencies_us, p);
+        prop_assert_eq!(
+            report.latency_percentile(p),
+            Duration::from_micros(expected),
+            "p = {}",
+            p
+        );
+    }
+
+    /// Percentiles are monotone in p and bounded by the sample extremes.
+    #[test]
+    fn percentile_is_monotone_and_bounded(
+        samples in proptest::collection::vec(0u64..1_000_000, 1..80),
+        a_mill in 0u32..=1000,
+        b_mill in 0u32..=1000,
+    ) {
+        let report = report_with(samples);
+        let (lo, hi) = (a_mill.min(b_mill), a_mill.max(b_mill));
+        let at_lo = report.latency_percentile(f64::from(lo) / 1000.0);
+        let at_hi = report.latency_percentile(f64::from(hi) / 1000.0);
+        prop_assert!(at_lo <= at_hi, "p{lo} = {at_lo:?} > p{hi} = {at_hi:?}");
+        let min = Duration::from_micros(*report.latencies_us.first().unwrap());
+        let max = Duration::from_micros(*report.latencies_us.last().unwrap());
+        prop_assert!(at_lo >= min && at_hi <= max);
+    }
+
+    /// A single sample is every percentile.
+    #[test]
+    fn single_sample_is_every_percentile(
+        sample in 0u64..1_000_000,
+        p_mill in 0u32..=1000,
+    ) {
+        let report = report_with(vec![sample]);
+        prop_assert_eq!(
+            report.latency_percentile(f64::from(p_mill) / 1000.0),
+            Duration::from_micros(sample)
+        );
+    }
+}
+
+#[test]
+fn empty_samples_yield_zero_for_every_percentile() {
+    let report = RunReport::default();
+    for p in [0.0, 0.5, 0.99, 0.999, 1.0] {
+        assert_eq!(report.latency_percentile(p), Duration::ZERO);
+    }
+}
+
+/// Survivor-bias guard: percentiles only see *committed* transactions,
+/// so a sweep point must carry the unresolved count right next to them —
+/// a reader comparing two points can tell a genuine p999 from one whose
+/// worst samples never committed at all.
+#[test]
+fn sweep_points_report_outstanding_alongside_percentiles() {
+    let report = RunReport {
+        committed: 10,
+        outstanding: 90,
+        measured_submitted: 100,
+        measured_committed: 10,
+        measure_window: Duration::from_secs(1),
+        latencies_us: (1..=10).collect(),
+        ..RunReport::default()
+    };
+    let point = SaturatePoint::from_report(1_000.0, &report);
+    assert_eq!(point.outstanding, 90, "unresolved txs must ride along");
+    assert_eq!(point.measured_committed, 10);
+    assert_eq!(point.measured_submitted, 100);
+    // The point visibly failed to keep up even though every *sample* is
+    // tiny — that is exactly the bias `outstanding` exposes.
+    assert!(!point.keeps_up(0.99));
+    assert_eq!(point.p999, Duration::from_micros(10));
+}

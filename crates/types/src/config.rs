@@ -106,6 +106,85 @@ impl std::fmt::Display for ExecutionMode {
     }
 }
 
+/// The arrival process an open-loop load driver uses to place intended
+/// transaction arrival times (DESIGN.md §13).
+///
+/// The process shapes *when* transactions are meant to arrive at a given
+/// average rate; it says nothing about what the transactions do (that is
+/// the workload generator's job). All three processes are deterministic
+/// functions of `(rate, seed)`, so the saturation harness produces the
+/// same intended-arrival schedule under the threaded runner and the
+/// virtual-clock simulator.
+///
+/// # Examples
+///
+/// ```
+/// use parblock_types::ArrivalProcess;
+///
+/// assert_eq!(ArrivalProcess::parse("poisson"), Some(ArrivalProcess::Poisson));
+/// assert_eq!(ArrivalProcess::Uniform.to_string(), "uniform");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Evenly spaced arrivals: arrival `i` lands at `i / rate`. The
+    /// schedule the closed-form sim driver has always used.
+    Uniform,
+    /// Memoryless arrivals: exponentially distributed inter-arrival
+    /// gaps with mean `1 / rate`, sampled from the run seed.
+    Poisson,
+    /// On/off arrivals: within every `period`, all of the period's
+    /// arrivals are packed uniformly into the leading `duty` fraction,
+    /// followed by silence — the same average rate delivered in bursts
+    /// `1/duty` times the target rate.
+    Burst {
+        /// Length of one on+off cycle.
+        period: Duration,
+        /// Fraction of the period that carries traffic, in `(0, 1]`.
+        duty: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// The default burst shape: 100 ms periods with a 20 % duty cycle
+    /// (5× the average rate while on).
+    #[must_use]
+    pub fn default_burst() -> Self {
+        ArrivalProcess::Burst {
+            period: Duration::from_millis(100),
+            duty: 0.2,
+        }
+    }
+
+    /// Parses the CLI spelling: `uniform`, `poisson`, or `burst` (the
+    /// default burst shape).
+    #[must_use]
+    pub fn parse(raw: &str) -> Option<Self> {
+        match raw.trim().to_ascii_lowercase().as_str() {
+            "uniform" => Some(ArrivalProcess::Uniform),
+            "poisson" => Some(ArrivalProcess::Poisson),
+            "burst" => Some(ArrivalProcess::default_burst()),
+            _ => None,
+        }
+    }
+}
+
+impl Default for ArrivalProcess {
+    /// Uniform spacing — the legacy driver behaviour.
+    fn default() -> Self {
+        ArrivalProcess::Uniform
+    }
+}
+
+impl std::fmt::Display for ArrivalProcess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArrivalProcess::Uniform => f.write_str("uniform"),
+            ArrivalProcess::Poisson => f.write_str("poisson"),
+            ArrivalProcess::Burst { .. } => f.write_str("burst"),
+        }
+    }
+}
+
 /// The commit policy τ : A → usize of §III-B: how many matching execution
 /// results an executor must collect before committing a transaction of
 /// application `A` (the analogue of Fabric's endorsement policies).
@@ -286,6 +365,19 @@ mod tests {
         assert_eq!(cfg.checkpoint_interval, 1);
         let default = DurabilityConfig::default();
         assert_eq!(default.sanitized(), default);
+    }
+
+    #[test]
+    fn arrival_process_parse_and_display_round_trip() {
+        assert_eq!(ArrivalProcess::parse("uniform"), Some(ArrivalProcess::Uniform));
+        assert_eq!(ArrivalProcess::parse(" Poisson "), Some(ArrivalProcess::Poisson));
+        assert_eq!(
+            ArrivalProcess::parse("burst"),
+            Some(ArrivalProcess::default_burst())
+        );
+        assert_eq!(ArrivalProcess::parse("lognormal"), None);
+        assert_eq!(ArrivalProcess::default(), ArrivalProcess::Uniform);
+        assert_eq!(ArrivalProcess::default_burst().to_string(), "burst");
     }
 
     #[test]

@@ -31,7 +31,8 @@ pub mod wire;
 pub use block::{Block, BlockHeader, Hash32};
 pub use clock::Clock;
 pub use config::{
-    BlockCutConfig, CommitPolicy, DurabilityConfig, ExecutionCosts, ExecutionMode, SystemConfig,
+    ArrivalProcess, BlockCutConfig, CommitPolicy, DurabilityConfig, ExecutionCosts, ExecutionMode,
+    SystemConfig,
 };
 pub use error::TypeError;
 pub use ids::{AppId, BlockNumber, ClientId, NodeId, Role, SeqNo, TxId};

@@ -1,0 +1,259 @@
+//! Deterministic arrival-process generators for open-loop load
+//! (DESIGN.md §13).
+//!
+//! An [`ArrivalGen`] turns an [`ArrivalProcess`] + target rate + seed
+//! into the *intended* arrival schedule of an open-loop driver: a
+//! monotone stream of offsets from run start. The schedule is a pure
+//! function of its inputs — the threaded saturation harness and the
+//! virtual-clock simulator derive bit-identical schedules from the same
+//! seed, which is what makes sweep results reproducible.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::time::Duration;
+//! use parblock_types::ArrivalProcess;
+//! use parblock_workload::ArrivalGen;
+//!
+//! let mut gen = ArrivalGen::new(ArrivalProcess::Uniform, 1_000.0, 42);
+//! assert_eq!(gen.next_offset(), Duration::ZERO);
+//! assert_eq!(gen.next_offset(), Duration::from_millis(1));
+//! ```
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use parblock_types::ArrivalProcess;
+
+/// Streaming generator of intended arrival offsets (from run start) for
+/// one target rate. See the module docs.
+#[derive(Debug)]
+pub struct ArrivalGen {
+    process: ArrivalProcess,
+    /// Uniform spacing in whole nanoseconds — `(1e9 / rate) as u64`,
+    /// kept in this exact truncated form because the deterministic
+    /// simulator's historical schedules used it and pinned seeds replay
+    /// against it.
+    interval_ns: u64,
+    rate_tps: f64,
+    rng: StdRng,
+    idx: u64,
+    /// Poisson accumulator: intended offset of the *next* arrival, in
+    /// fractional nanoseconds.
+    next_ns: f64,
+}
+
+impl ArrivalGen {
+    /// Creates a generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rate_tps` is not finite and positive, or when a
+    /// burst process has a zero period or a duty cycle outside `(0, 1]`.
+    #[must_use]
+    pub fn new(process: ArrivalProcess, rate_tps: f64, seed: u64) -> Self {
+        assert!(
+            rate_tps.is_finite() && rate_tps > 0.0,
+            "arrival rate must be positive"
+        );
+        if let ArrivalProcess::Burst { period, duty } = process {
+            assert!(!period.is_zero(), "burst period must be positive");
+            assert!(
+                duty > 0.0 && duty <= 1.0,
+                "burst duty cycle must be in (0, 1]"
+            );
+        }
+        ArrivalGen {
+            process,
+            interval_ns: (1e9 / rate_tps) as u64,
+            rate_tps,
+            rng: StdRng::seed_from_u64(seed),
+            idx: 0,
+            next_ns: 0.0,
+        }
+    }
+
+    /// The process this generator samples.
+    #[must_use]
+    pub fn process(&self) -> ArrivalProcess {
+        self.process
+    }
+
+    /// The intended offset of the next arrival (monotone non-decreasing).
+    pub fn next_offset(&mut self) -> Duration {
+        let i = self.idx;
+        self.idx += 1;
+        match self.process {
+            ArrivalProcess::Uniform => {
+                Duration::from_nanos(self.interval_ns.saturating_mul(i))
+            }
+            ArrivalProcess::Poisson => {
+                let offset = Duration::from_nanos(self.next_ns as u64);
+                // Inverse-CDF exponential gap with mean 1/rate; `1 - u`
+                // keeps ln's argument in (0, 1].
+                let u: f64 = self.rng.gen();
+                self.next_ns += -(1.0 - u).ln() * 1e9 / self.rate_tps;
+                offset
+            }
+            ArrivalProcess::Burst { period, duty } => {
+                let period_ns = period.as_nanos() as u64;
+                let per_period = ((self.rate_tps * period.as_secs_f64()).round() as u64).max(1);
+                let cycle = i / per_period;
+                let slot = i % per_period;
+                let on_ns = (period_ns as f64 * duty) as u64;
+                Duration::from_nanos(
+                    cycle.saturating_mul(period_ns) + slot * (on_ns / per_period),
+                )
+            }
+        }
+    }
+
+    /// Every arrival with an intended offset strictly below `horizon`,
+    /// in order. The schedule of a fixed-duration run.
+    pub fn take_until(&mut self, horizon: Duration) -> Vec<Duration> {
+        let mut out = Vec::new();
+        loop {
+            let before = self.clone_state();
+            let offset = self.next_offset();
+            if offset >= horizon {
+                self.restore_state(before);
+                return out;
+            }
+            out.push(offset);
+        }
+    }
+
+    fn clone_state(&self) -> (u64, f64, StdRng) {
+        (self.idx, self.next_ns, self.rng.clone())
+    }
+
+    fn restore_state(&mut self, state: (u64, f64, StdRng)) {
+        self.idx = state.0;
+        self.next_ns = state.1;
+        self.rng = state.2;
+    }
+}
+
+impl Iterator for ArrivalGen {
+    type Item = Duration;
+
+    fn next(&mut self) -> Option<Duration> {
+        Some(self.next_offset())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_matches_the_simulators_closed_form() {
+        // The deterministic simulator has always scheduled arrival `i`
+        // at `(1e9 / rate) as u64 * i` nanoseconds; pinned exploration
+        // seeds replay against that schedule, so Uniform must reproduce
+        // it bit-for-bit.
+        for rate in [333.0, 1_500.0, 20_000.0] {
+            let mut gen = ArrivalGen::new(ArrivalProcess::Uniform, rate, 7);
+            let interval_ns = (1e9 / rate) as u64;
+            for i in 0..50u64 {
+                assert_eq!(
+                    gen.next_offset(),
+                    Duration::from_nanos(interval_ns * i),
+                    "rate {rate}, arrival {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn poisson_is_seeded_monotone_and_hits_the_mean_rate() {
+        let offsets: Vec<Duration> =
+            ArrivalGen::new(ArrivalProcess::Poisson, 10_000.0, 11).take(20_000).collect();
+        let again: Vec<Duration> =
+            ArrivalGen::new(ArrivalProcess::Poisson, 10_000.0, 11).take(20_000).collect();
+        assert_eq!(offsets, again, "same seed, same schedule");
+        let other: Vec<Duration> =
+            ArrivalGen::new(ArrivalProcess::Poisson, 10_000.0, 12).take(20_000).collect();
+        assert_ne!(offsets, other, "different seed explores different gaps");
+        assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "monotone");
+        assert_eq!(offsets[0], Duration::ZERO, "first arrival at run start");
+        // 20k samples at 10k tps ≈ 2 s of schedule; the sample mean of
+        // the exponential gaps concentrates within a few percent.
+        let span = offsets.last().unwrap().as_secs_f64();
+        let achieved = (offsets.len() - 1) as f64 / span;
+        assert!(
+            (achieved - 10_000.0).abs() / 10_000.0 < 0.05,
+            "mean rate {achieved}"
+        );
+    }
+
+    #[test]
+    fn burst_packs_arrivals_into_the_duty_window() {
+        let period = Duration::from_millis(10);
+        let duty = 0.25;
+        let mut gen = ArrivalGen::new(
+            ArrivalProcess::Burst { period, duty },
+            5_000.0,
+            3,
+        );
+        let offsets = gen.take_until(Duration::from_millis(100));
+        // 5k tps over 100 ms ≈ 500 arrivals, 50 per 10 ms period.
+        assert!((450..=550).contains(&offsets.len()), "{}", offsets.len());
+        for offset in &offsets {
+            let in_period = offset.as_nanos() % period.as_nanos();
+            assert!(
+                in_period < (period.as_nanos() as f64 * duty) as u128,
+                "arrival at {offset:?} lands outside the on-window"
+            );
+        }
+        assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "monotone");
+    }
+
+    #[test]
+    fn take_until_is_exclusive_and_resumable() {
+        let mut gen = ArrivalGen::new(ArrivalProcess::Uniform, 1_000.0, 0);
+        let first = gen.take_until(Duration::from_millis(10));
+        assert_eq!(first.len(), 10, "arrivals 0..10 ms at 1 ms spacing");
+        assert_eq!(*first.last().unwrap(), Duration::from_millis(9));
+        // The horizon arrival was peeked, not consumed.
+        assert_eq!(gen.next_offset(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn take_until_counts_track_the_offered_rate() {
+        for process in [
+            ArrivalProcess::Uniform,
+            ArrivalProcess::Poisson,
+            ArrivalProcess::default_burst(),
+        ] {
+            let mut gen = ArrivalGen::new(process, 2_000.0, 5);
+            let n = gen.take_until(Duration::from_secs(2)).len() as f64;
+            let offered = 2_000.0 * 2.0;
+            assert!(
+                (n - offered).abs() / offered < 0.05,
+                "{process}: {n} arrivals for {offered} offered"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival rate must be positive")]
+    fn zero_rate_panics() {
+        let _ = ArrivalGen::new(ArrivalProcess::Uniform, 0.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "burst duty cycle must be in (0, 1]")]
+    fn invalid_duty_panics() {
+        let _ = ArrivalGen::new(
+            ArrivalProcess::Burst {
+                period: Duration::from_millis(10),
+                duty: 0.0,
+            },
+            100.0,
+            0,
+        );
+    }
+}

@@ -31,8 +31,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arrival;
 mod generator;
 mod zipf;
 
+pub use arrival::ArrivalGen;
 pub use generator::{HotspotConfig, WorkloadConfig, WorkloadGen};
 pub use zipf::Zipf;

@@ -18,6 +18,7 @@ fn main() {
         rate_tps: 2_000.0,
         duration: Duration::from_millis(1500),
         drain: Duration::from_millis(800),
+        ..LoadSpec::default()
     };
 
     println!(

@@ -18,6 +18,7 @@ fn main() {
         rate_tps: 1_000.0,
         duration: Duration::from_millis(1500),
         drain: Duration::from_secs(1),
+        ..LoadSpec::default()
     };
 
     let moves: [(&str, Option<MovedGroup>); 3] = [

@@ -17,6 +17,7 @@ fn main() {
         rate_tps: 1_500.0,
         duration: Duration::from_millis(1500),
         drain: Duration::from_millis(800),
+        ..LoadSpec::default()
     };
 
     println!(

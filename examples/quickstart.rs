@@ -22,6 +22,7 @@ fn main() {
         rate_tps: 2_000.0,
         duration: Duration::from_secs(2),
         drain: Duration::from_millis(800),
+        ..LoadSpec::default()
     };
 
     println!("starting OXII cluster: {} orderers, {} apps, block size {}",

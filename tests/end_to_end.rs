@@ -24,6 +24,7 @@ fn quick_load(rate: f64) -> LoadSpec {
         rate_tps: rate,
         duration: Duration::from_millis(500),
         drain: Duration::from_millis(500),
+        ..LoadSpec::default()
     }
 }
 
