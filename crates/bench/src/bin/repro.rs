@@ -29,6 +29,11 @@
 //! repro saturate --rates 500,2000,8000 --arrival poisson --json
 //!                            # custom schedule; --json also writes
 //!                            # bench_results/BENCH_saturate.json
+//! repro trace                # per-transaction lifecycle breakdown:
+//!                            # stage-gap percentile table + artifacts
+//! repro trace --sim --seed 7 # virtual-time leg: byte-reproducible
+//!                            # BENCH_trace.json + Perfetto-loadable
+//!                            # BENCH_trace_events.json
 //! repro all                  # everything
 //! repro all --full           # everything, longer measurement points
 //! ```
@@ -39,8 +44,9 @@ use parblock_bench::{
     ablation_commit_batching, ablation_durability, ablation_mode, ablation_mv_graph,
     ablation_pipeline, ablation_streaming, default_data_dir, default_seed_file, explore_one,
     explore_sweep, fig5_block_size, fig6_contention, fig7_geo, knee_summary, load_seed_file,
-    parse_rates, recover_demo, run_saturate, saturate_table, write_saturate_json,
-    ExperimentScale, SaturateOptions, Table,
+    parse_rates, recover_demo, run_saturate, run_trace, saturate_table, trace_table,
+    write_saturate_json, write_trace_artifacts, ExperimentScale, SaturateOptions, Table,
+    TraceOptions,
 };
 use parblock_types::ArrivalProcess;
 use parblockchain::MovedGroup;
@@ -144,6 +150,51 @@ fn run_saturate_cmd(args: &[String], scale: ExperimentScale) {
     }
 }
 
+fn run_trace_cmd(args: &[String], scale: ExperimentScale) {
+    let arg_value = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let mut options = TraceOptions {
+        scale,
+        ..TraceOptions::default()
+    };
+    options.sim = args.iter().any(|a| a == "--sim");
+    options.on_disk = args.iter().any(|a| a == "--on-disk");
+    if let Some(seed) = arg_value("--seed").and_then(|v| v.parse().ok()) {
+        options.seed = seed;
+    }
+    if let Some(rate) = arg_value("--rate").and_then(|v| v.parse::<f64>().ok()) {
+        if rate > 0.0 {
+            options.rate_tps = rate;
+        }
+    }
+    if let Some(level) = arg_value("--contention").and_then(|v| v.parse::<u32>().ok()) {
+        options.contention = f64::from(level.min(100)) / 100.0;
+    }
+    let report = run_trace(&options);
+    emit("trace", &trace_table(&report));
+    println!(
+        "digest: {} ({} leg, seed {}, {} committed, {} traced)",
+        report.digest(),
+        if options.sim { "virtual-time" } else { "threaded" },
+        options.seed,
+        report.committed,
+        report.trace.finished,
+    );
+    match write_trace_artifacts(&report, &options) {
+        Ok((json, events)) => {
+            println!("(json written to {})", json.display());
+            println!("(trace events written to {} — load in Perfetto)", events.display());
+        }
+        Err(e) => {
+            eprintln!("trace: artifact write failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn parse_move(s: &str) -> Option<MovedGroup> {
     match s {
         "clients" => Some(MovedGroup::Clients),
@@ -217,6 +268,7 @@ fn main() {
             }
         }
         "saturate" => run_saturate_cmd(&args, scale),
+        "trace" => run_trace_cmd(&args, scale),
         "recover" => {
             let data_dir = arg_value("--data-dir")
                 .map_or_else(default_data_dir, std::path::PathBuf::from);
@@ -260,7 +312,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown command: {other}");
-            eprintln!("usage: repro [fig5|fig6|fig7|ablation-commit|ablation-mv|ablation-streaming|ablation-pipeline|ablation-durability|ablation-mode|recover|explore|saturate|lint|all] [--contention N] [--move GROUP] [--data-dir DIR] [--full] [--seeds N] [--seed K] [--seed-file PATH] [--count N] [--no-faults] [--rates R,R,...] [--arrival uniform|poisson|burst] [--sim] [--on-disk] [--cap N] [--json]");
+            eprintln!("usage: repro [fig5|fig6|fig7|ablation-commit|ablation-mv|ablation-streaming|ablation-pipeline|ablation-durability|ablation-mode|recover|explore|saturate|trace|lint|all] [--contention N] [--move GROUP] [--data-dir DIR] [--full] [--seeds N] [--seed K] [--seed-file PATH] [--count N] [--no-faults] [--rates R,R,...] [--rate R] [--arrival uniform|poisson|burst] [--sim] [--on-disk] [--cap N] [--json]");
             std::process::exit(2);
         }
     }

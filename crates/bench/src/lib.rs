@@ -15,6 +15,7 @@ pub mod explore_cmd;
 pub mod recover;
 pub mod saturate_cmd;
 pub mod table;
+pub mod trace_cmd;
 
 pub use experiments::{
     ablation_commit_batching, ablation_durability, ablation_mode, ablation_mv_graph,
@@ -28,3 +29,6 @@ pub use saturate_cmd::{
     SaturateOptions,
 };
 pub use table::Table;
+pub use trace_cmd::{
+    run_trace, trace_events_json, trace_json, trace_table, write_trace_artifacts, TraceOptions,
+};

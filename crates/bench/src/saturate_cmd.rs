@@ -70,6 +70,10 @@ impl SaturateOptions {
         spec.costs = ExecutionCosts::per_tx(Duration::from_micros(500));
         spec.workload.contention = self.contention;
         spec.seed = self.seed;
+        // Lifecycle tracing rides along on every sweep step, so each
+        // point of the JSON artifact carries the per-stage breakdown —
+        // which stage saturates first as the offered rate climbs.
+        spec.trace = parblockchain::TraceConfig::on();
         spec.durability = match data_dir {
             Some(dir) => DurabilityMode::OnDisk {
                 data_dir: dir.to_path_buf(),
@@ -199,7 +203,8 @@ pub fn saturate_json(outcome: &SaturateOutcome, options: &SaturateOptions) -> St
              \"measured_submitted\": {}, \"measured_committed\": {}, \
              \"outstanding\": {}, \"p50_us\": {}, \"p99_us\": {}, \
              \"p999_us\": {}, \"driver_overruns\": {}, \
-             \"driver_max_lag_us\": {}, \"admission_shed\": {}}}",
+             \"driver_max_lag_us\": {}, \"admission_shed\": {}, \
+             \"stages\": [",
             p.offered_tps,
             p.achieved_tps,
             p.measured_submitted,
@@ -212,6 +217,20 @@ pub fn saturate_json(outcome: &SaturateOutcome, options: &SaturateOptions) -> St
             p.driver_max_lag.as_micros(),
             p.admission_shed,
         );
+        for (j, s) in p.stages.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}{{\"from\": \"{}\", \"to\": \"{}\", \"count\": {}, \
+                 \"p50_us\": {}, \"p99_us\": {}}}",
+                if j == 0 { "" } else { ", " },
+                s.from,
+                s.to,
+                s.count,
+                s.p50.as_micros(),
+                s.p99.as_micros(),
+            );
+        }
+        out.push_str("]}");
         out.push_str(if i + 1 < outcome.points.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ]\n}\n");
@@ -268,6 +287,10 @@ mod tests {
         assert!(json.contains("\"bench\": \"saturate\""));
         assert!(json.contains("\"leg\": \"sim\""));
         assert!(json.contains("\"offered_tps\": 400.0"));
+        // Tracing rides along: every point embeds its stage breakdown.
+        assert!(outcome.points.iter().all(|p| !p.stages.is_empty()));
+        assert!(json.contains("\"stages\": ["));
+        assert!(json.contains("\"from\": \"submitted\""));
         // Balanced braces/brackets — the artifact must stay parseable.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());

@@ -242,6 +242,10 @@ pub struct ClusterSpec {
     pub capture_state: bool,
     /// OXII commit-message batching strategy (ablation knob).
     pub commit_flush: CommitFlush,
+    /// Per-transaction lifecycle tracing (DESIGN.md §14). Disabled by
+    /// default: recording costs one branch per stage and the
+    /// `RunReport` digest stays byte-identical to pre-tracing runs.
+    pub trace: parblock_trace::TraceConfig,
     /// RNG seed.
     pub seed: u64,
 }
@@ -274,6 +278,7 @@ impl ClusterSpec {
             durability_config: DurabilityConfig::default(),
             capture_state: false,
             commit_flush: CommitFlush::default(),
+            trace: parblock_trace::TraceConfig::default(),
             seed: 42,
         }
     }

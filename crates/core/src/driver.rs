@@ -165,5 +165,11 @@ pub(crate) fn submit_at(
     let signer = shared.spec.client_signer(tx.client());
     let sig = shared.keys.sign(signer, &tx.wire_bytes());
     shared.metrics.record_submit_at(tx.id(), intended);
+    // The trace stamps the *intended* arrival too: driver lag widens the
+    // submitted→sequenced gap instead of disappearing (coordinated
+    // omission, see the module docs).
+    shared
+        .trace
+        .record_at(tx.id(), parblock_trace::Stage::Submitted, intended);
     endpoint.send(entry, Msg::Request { tx, sig });
 }

@@ -18,14 +18,20 @@ pub(crate) struct NodeDurability {
     pub recovered: Option<Recovered>,
 }
 
-/// Builds the durability handle for an executor peer.
+/// Builds the durability handle for an executor peer. `trace` (a
+/// disabled recorder for every node but the observer) times block seals
+/// into the lifecycle trace's seal histogram (DESIGN.md §14).
 ///
 /// # Panics
 ///
 /// Panics if the on-disk store cannot be opened or is internally
 /// inconsistent — a node that cannot guarantee durability must not
 /// serve (DESIGN.md §9).
-pub(crate) fn for_peer(spec: &ClusterSpec, node: NodeId) -> NodeDurability {
+pub(crate) fn for_peer(
+    spec: &ClusterSpec,
+    node: NodeId,
+    trace: parblock_trace::TraceRecorder,
+) -> NodeDurability {
     match &spec.durability {
         DurabilityMode::InMemory => NodeDurability {
             durability: Box::new(InMemory),
@@ -33,8 +39,9 @@ pub(crate) fn for_peer(spec: &ClusterSpec, node: NodeId) -> NodeDurability {
         },
         DurabilityMode::OnDisk { data_dir, .. } => {
             let dir = Store::node_dir(data_dir, node.0);
-            let (on_disk, recovered) = OnDisk::open(&dir, spec.durability_config)
+            let (mut on_disk, recovered) = OnDisk::open(&dir, spec.durability_config)
                 .unwrap_or_else(|e| panic!("open durable store {}: {e}", dir.display()));
+            on_disk.set_trace(trace);
             NodeDurability {
                 durability: Box::new(on_disk),
                 recovered: (!recovered.is_empty()).then_some(recovered),

@@ -60,9 +60,14 @@ pub use cluster::{
 };
 pub use parblock_types::ExecutionMode;
 pub use metrics::{Metrics, RunReport};
+pub use parblock_trace::{
+    Histogram, Stage, StagePair, TraceConfig, TraceRecorder, TraceReport, TxTimeline, STAGE_COUNT,
+};
 pub use parblock_types::ArrivalProcess;
 pub use runner::{run, run_fixed, run_fixed_from, run_fixed_with_faults, LoadSpec};
-pub use saturate::{saturate, saturate_sim, SaturateConfig, SaturateOutcome, SaturatePoint};
+pub use saturate::{
+    saturate, saturate_sim, SaturateConfig, SaturateOutcome, SaturatePoint, StageSummary,
+};
 pub use sim::{
     run_sim, FaultEvent, FaultKind, FaultPlan, OrdererOutcome, ReplicaOutcome, SimConfig,
     SimOutcome,

@@ -36,11 +36,22 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 
 use parblock_ledger::DurabilityStats;
+use parblock_trace::{Histogram, Stage, TraceRecorder, TraceReport};
 use parblock_types::{Clock, TxId};
 
 /// Send lag at which a submission counts as a driver overrun — one
 /// pacing tick of the open-loop driver.
 const DRIVER_OVERRUN_LAG: Duration = Duration::from_millis(1);
+
+/// Bound on the exact per-sample latency buffer: the first this many
+/// measured commits keep exact samples, later ones land only in the
+/// log-bucketed histogram (which sees *every* sample from the first).
+/// The cap sits well above any pinned run's sample count, so historical
+/// reports and their digests are unchanged; a sweep that does overflow
+/// reports percentiles from the histogram — within one bucket (≤ 6.25%)
+/// of the exact answer — instead of growing one `u64` per commit
+/// forever.
+const LATENCY_SAMPLE_CAP: usize = 65_536;
 
 /// Shared metrics sink. Cloning shares the underlying state.
 #[derive(Debug, Clone, Default)]
@@ -64,8 +75,17 @@ struct Inner {
     /// (quorum re-delivery, duplicate COMMIT processing) must not
     /// double-count, and a transaction resolves exactly one way.
     resolved_ids: Mutex<HashSet<TxId>>,
-    /// Latencies of committed transactions (µs).
+    /// Latencies of committed transactions (µs), exact samples capped
+    /// at [`LATENCY_SAMPLE_CAP`].
     latencies: Mutex<Vec<u64>>,
+    /// Log-bucketed histogram over **all** measured latencies (µs),
+    /// authoritative once the exact buffer overflows.
+    latency_hist: Mutex<Histogram>,
+    /// Measured samples that arrived after the exact buffer was full.
+    latency_overflow: AtomicU64,
+    /// Lifecycle recorder ([`Stage::Committed`] is stamped here, where
+    /// commit dedup already lives; aborts drop their partial trace).
+    trace: TraceRecorder,
     committed: AtomicU64,
     aborted: AtomicU64,
     blocks: AtomicU64,
@@ -116,9 +136,18 @@ impl Metrics {
     /// bit-deterministic for a given schedule.
     #[must_use]
     pub fn with_clock(clock: Clock) -> Self {
+        Self::with_clock_and_trace(clock, TraceRecorder::default())
+    }
+
+    /// Creates an empty sink stamping against `clock` that also records
+    /// the [`Stage::Committed`] lifecycle stage into `trace` (the
+    /// commit-dedup logic lives here, so the trace inherits it).
+    #[must_use]
+    pub fn with_clock_and_trace(clock: Clock, trace: TraceRecorder) -> Self {
         Metrics {
             inner: Arc::new(Inner {
                 clock,
+                trace,
                 ..Inner::default()
             }),
         }
@@ -192,11 +221,19 @@ impl Metrics {
             return;
         }
         let now = self.inner.clock.now();
+        self.inner.trace.record_at(tx, Stage::Committed, now);
         self.inner.committed.fetch_add(1, Ordering::Relaxed);
         if let Some((intended, measured)) = self.inner.submits.lock().remove(&tx) {
             if measured {
                 let micros = now.saturating_duration_since(intended).as_micros() as u64;
-                self.inner.latencies.lock().push(micros);
+                self.inner.latency_hist.lock().record(micros);
+                let mut latencies = self.inner.latencies.lock();
+                if latencies.len() < LATENCY_SAMPLE_CAP {
+                    latencies.push(micros);
+                } else {
+                    self.inner.latency_overflow.fetch_add(1, Ordering::Relaxed);
+                }
+                drop(latencies);
                 self.inner.measured_committed.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -213,6 +250,7 @@ impl Metrics {
         }
         self.inner.aborted.fetch_add(1, Ordering::Relaxed);
         self.inner.submits.lock().remove(&tx);
+        self.inner.trace.drop_tx(tx);
     }
 
     /// Records a block fully processed at the observer.
@@ -346,6 +384,9 @@ impl Metrics {
             blocks: self.inner.blocks.load(Ordering::Relaxed),
             window,
             latencies_us: latencies,
+            latency_hist: self.inner.latency_hist.lock().clone(),
+            latency_overflow: self.inner.latency_overflow.load(Ordering::Relaxed),
+            trace: TraceReport::default(),
             state_digest: *self.inner.state_digest.lock(),
             ledger_head: *self.inner.ledger_head.lock(),
             pipeline_occupancy: self.inner.pipeline_occupancy.lock().clone(),
@@ -388,8 +429,22 @@ pub struct RunReport {
     pub blocks: u64,
     /// First submission → last commit.
     pub window: Duration,
-    /// Sorted commit latencies in microseconds.
+    /// Sorted commit latencies in microseconds — exact samples, capped
+    /// at the first 65 536 measured commits (see
+    /// [`RunReport::latency_overflow`]).
     pub latencies_us: Vec<u64>,
+    /// Log-bucketed histogram over **all** measured latencies (µs).
+    /// When [`RunReport::latency_overflow`] is nonzero the percentile
+    /// accessors read from here instead of the truncated exact buffer.
+    pub latency_hist: parblock_trace::Histogram,
+    /// Measured commits whose exact sample was dropped by the buffer
+    /// cap (they still count in [`RunReport::latency_hist`]).
+    pub latency_overflow: u64,
+    /// Per-transaction lifecycle trace: stage-pair latency histograms
+    /// and sampled timelines (DESIGN.md §14). Default/empty unless the
+    /// spec enabled tracing; filled in by the runner alongside
+    /// [`RunReport::messages`].
+    pub trace: parblock_trace::TraceReport,
     /// Observer's final state digest (when capture was enabled).
     pub state_digest: Option<parblock_types::Hash32>,
     /// Observer's final ledger head hash — equal heads mean the same
@@ -511,6 +566,19 @@ impl RunReport {
                 v.encode(&mut bytes);
             }
         }
+        // Latency-buffer overflow (added with the sample cap): runs
+        // small enough to keep every exact sample — all historical runs
+        // — encode nothing new.
+        if self.latency_overflow != 0 {
+            self.latency_overflow.encode(&mut bytes);
+            self.latency_hist.encode_into(&mut bytes);
+        }
+        // Lifecycle trace (DESIGN.md §14), gated the same way: only
+        // runs that enabled tracing encode the group, so every
+        // pre-tracing digest stays byte-identical.
+        if self.trace.is_active() {
+            self.trace.encode_into(&mut bytes);
+        }
         parblock_crypto::sha256(&bytes)
     }
 
@@ -535,9 +603,13 @@ impl RunReport {
         self.measured_committed as f64 / self.measure_window.as_secs_f64()
     }
 
-    /// Mean end-to-end latency.
+    /// Mean end-to-end latency (over every measured sample — the
+    /// histogram sees samples the capped exact buffer dropped).
     #[must_use]
     pub fn avg_latency(&self) -> Duration {
+        if self.latency_overflow != 0 {
+            return Duration::from_micros(self.latency_hist.mean());
+        }
         if self.latencies_us.is_empty() {
             return Duration::ZERO;
         }
@@ -552,12 +624,19 @@ impl RunReport {
     /// never understates the tail: p99 over 100 samples is the 99th
     /// smallest, not a blend with the 100th.
     ///
+    /// When the exact buffer overflowed its cap the percentile is read
+    /// from the histogram instead (which saw every sample) — within one
+    /// log bucket (≤ 6.25%) of the exact nearest-rank answer.
+    ///
     /// # Panics
     ///
     /// Panics if `p` is outside `[0, 1]`.
     #[must_use]
     pub fn latency_percentile(&self, p: f64) -> Duration {
         assert!((0.0..=1.0).contains(&p), "percentile must be in [0, 1]");
+        if self.latency_overflow != 0 {
+            return Duration::from_micros(self.latency_hist.percentile(p));
+        }
         let n = self.latencies_us.len();
         if n == 0 {
             return Duration::ZERO;
@@ -908,6 +987,97 @@ mod tests {
         let r = m.report();
         assert_eq!(r.latencies_us, vec![1234], "no wall-clock drift");
         assert_eq!(r.window, Duration::from_micros(1234));
+    }
+
+    #[test]
+    fn overflowing_latency_buffer_keeps_percentiles_within_one_bucket() {
+        // Push 10% past the exact-sample cap; percentiles must then come
+        // from the histogram and stay within one log bucket (≤ 6.25%
+        // relative error, exact below 16 µs) of the full sorted-vec
+        // answer.
+        let clock = Clock::simulated();
+        clock.advance(Duration::from_secs(10));
+        let m = Metrics::with_clock(clock.clone());
+        let total = LATENCY_SAMPLE_CAP + LATENCY_SAMPLE_CAP / 10;
+        let mut exact: Vec<u64> = Vec::with_capacity(total);
+        let mut rng: u64 = 7;
+        let now = clock.now();
+        for i in 0..total {
+            // LCG latencies spanning 0..~1 s keep every octave populated.
+            rng = rng.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
+            let lat = rng >> 44; // 0..2^20 µs
+            exact.push(lat);
+            m.record_submit_at(tx(i as u64), now - Duration::from_micros(lat));
+            m.record_commit(tx(i as u64));
+        }
+        let r = m.report();
+        assert_eq!(r.latency_overflow as usize, total - LATENCY_SAMPLE_CAP);
+        assert_eq!(r.latencies_us.len(), LATENCY_SAMPLE_CAP);
+        assert_eq!(r.latency_hist.count() as usize, total, "histogram sees every sample");
+        exact.sort_unstable();
+        for p in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let rank = ((p * total as f64).ceil() as usize).max(1) - 1;
+            let want = exact[rank.min(total - 1)];
+            let got = r.latency_percentile(p).as_micros() as u64;
+            assert!(
+                got.abs_diff(want) as f64 <= want as f64 / 16.0 + 1.0,
+                "p{p}: histogram {got} vs exact {want}"
+            );
+        }
+        // The overflow group participates in the digest.
+        let mut pinned = RunReport::default();
+        let legacy = pinned.digest();
+        pinned.latency_overflow = 1;
+        assert_ne!(pinned.digest(), legacy);
+    }
+
+    #[test]
+    fn under_cap_runs_keep_exact_percentiles_and_legacy_digest() {
+        let clock = Clock::simulated();
+        let m = Metrics::with_clock(clock.clone());
+        m.record_submit(tx(1));
+        clock.advance(Duration::from_micros(17));
+        m.record_commit(tx(1));
+        let r = m.report();
+        assert_eq!(r.latency_overflow, 0);
+        assert_eq!(r.latency_percentile(1.0), Duration::from_micros(17), "exact path");
+        assert_eq!(r.latency_hist.count(), 1, "histogram fed in parallel");
+        // A populated histogram alone (no overflow, no trace) encodes
+        // nothing new: byte-stable with a report that predates it.
+        let mut stripped = r.clone();
+        stripped.latency_hist = Histogram::default();
+        assert_eq!(r.digest(), stripped.digest());
+    }
+
+    #[test]
+    fn inactive_trace_keeps_the_historical_digest() {
+        let mut r = RunReport::default();
+        let legacy = r.digest();
+        assert!(!r.trace.is_active());
+        r.trace.enabled = true;
+        assert_ne!(r.digest(), legacy, "an enabled trace must be visible");
+        r.trace = TraceReport::default();
+        assert_eq!(r.digest(), legacy);
+    }
+
+    #[test]
+    fn committed_stage_and_abort_drop_flow_into_the_trace() {
+        let clock = Clock::simulated();
+        let trace = TraceRecorder::new(&clock, parblock_trace::TraceConfig::on());
+        let m = Metrics::with_clock_and_trace(clock.clone(), trace.clone());
+        m.record_submit(tx(1));
+        clock.advance(Duration::from_micros(40));
+        m.record_commit(tx(1));
+        m.record_commit(tx(1)); // dedup: no second Committed stamp
+        trace.record_durable_block([tx(1)]);
+        m.record_submit(tx(2));
+        trace.record(tx(2), Stage::Submitted); // the driver stamps this
+        m.record_abort(tx(2));
+        let t = trace.snapshot();
+        assert_eq!(t.finished, 1);
+        assert_eq!(t.aborted, 1, "aborts drop their partial trace");
+        let pair = t.pair(Stage::Committed, Stage::Durable).expect("pair");
+        assert_eq!(pair.count(), 1);
     }
 
     #[test]

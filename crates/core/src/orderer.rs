@@ -225,7 +225,15 @@ impl Orderer {
         }
     }
 
+    /// Every orderer replays the same delivered stream, so lifecycle
+    /// stages are stamped once, at the entry orderer, instead of racing
+    /// three first-record-wins writes per transaction.
+    fn traces_stages(&self) -> bool {
+        self.shared.trace.enabled() && self.endpoint.id() == self.shared.spec.entry_orderer()
+    }
+
     fn on_delivery(&mut self, payload: &[u8]) {
+        let traces = self.traces_stages();
         match Payload::decode(payload) {
             Some(Payload::Batch(txs)) => {
                 for tx in txs {
@@ -235,6 +243,11 @@ impl Orderer {
                         continue;
                     }
                     let now = self.shared.clock.now();
+                    if traces {
+                        self.shared
+                            .trace
+                            .record_at(tx.id(), parblock_trace::Stage::Sequenced, now);
+                    }
                     if let Some(full) = self.cutter.push(tx, now) {
                         self.emit_block(full);
                     }
@@ -256,6 +269,14 @@ impl Orderer {
     /// behind graph generation.
     fn emit_block(&mut self, cut: CutBlock) {
         let CutBlock { txs, graph } = cut;
+        if self.traces_stages() {
+            let now = self.shared.clock.now();
+            for tx in &txs {
+                self.shared
+                    .trace
+                    .record_at(tx.id(), parblock_trace::Stage::Cut, now);
+            }
+        }
         let block = Block::new(self.next_number, self.prev_hash, txs);
         let hash = hash_wire(&block);
         // Persist before announcing: a NEWBLOCK must never reference a

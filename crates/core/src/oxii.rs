@@ -246,7 +246,12 @@ impl Executor {
         // Crash recovery: an on-disk store rebuilds the sealed chain,
         // the state at the commit watermark, and hence where execution
         // resumes; an in-memory node starts from genesis.
-        let node = crate::durability::for_peer(&shared.spec, endpoint.id());
+        let seal_trace = if is_observer {
+            shared.trace.clone()
+        } else {
+            parblock_trace::TraceRecorder::default()
+        };
+        let node = crate::durability::for_peer(&shared.spec, endpoint.id(), seal_trace);
         let durability = node.durability;
         let mut ledger = Ledger::new();
         if let Some(recovered) = node.recovered {
@@ -512,9 +517,17 @@ impl Executor {
         } else {
             Engine::Pessimistic
         };
+        // Lifecycle stages are observed once, at the observer node, like
+        // the commit metrics: attach the recorder before the first
+        // `take_ready` so construction-time roots are stamped too.
+        let mut tracker = ReadyTracker::with_external(&graph, &external);
+        if self.is_observer && self.shared.trace.enabled() {
+            let ids: Vec<TxId> = bundle.block.transactions().iter().map(|tx| tx.id()).collect();
+            tracker.set_trace(self.shared.trace.clone(), ids);
+        }
         let mut run = BlockRun {
             bundle,
-            tracker: ReadyTracker::with_external(&graph, &external),
+            tracker,
             we,
             votes: HashMap::new(),
             executed: vec![false; n],
@@ -606,6 +619,14 @@ impl Executor {
                 cost,
             });
         }
+        if self.is_observer && self.shared.trace.enabled() {
+            let now = self.shared.clock.now();
+            for item in &items {
+                self.shared
+                    .trace
+                    .record_at(item.tx.id(), parblock_trace::Stage::Dispatched, now);
+            }
+        }
         for item in items {
             match &mut self.backend {
                 ExecBackend::Pool(pool) => pool.dispatch(item),
@@ -641,6 +662,13 @@ impl Executor {
             }
             run.executed[idx] = true;
             run.we_remaining -= 1;
+            if self.is_observer {
+                if let Some(tx) = run.bundle.block.tx(seq) {
+                    self.shared
+                        .trace
+                        .record(tx.id(), parblock_trace::Stage::Executed);
+                }
+            }
             // Algorithm 2: multicast when another application needs this
             // result, or when our share of the block is complete. The
             // per-transaction alternative (ablation) flushes every time.
@@ -745,6 +773,14 @@ impl Executor {
             contract: Arc::clone(contract),
             cost: self.shared.spec.costs.per_tx,
         };
+        // First-record-wins: a re-execution keeps the first dispatch
+        // timestamp, so the re-execution delay lands in the
+        // executed→validated gap instead of shifting earlier stages.
+        if self.is_observer {
+            self.shared
+                .trace
+                .record(item.tx.id(), parblock_trace::Stage::Dispatched);
+        }
         match &mut self.backend {
             ExecBackend::Pool(pool) => pool.dispatch(item),
             ExecBackend::Inline(queue) => queue.dispatch(item, self.shared.clock.now()),
@@ -773,6 +809,13 @@ impl Executor {
                 return; // stale incarnation, superseded by a re-execution
             }
             opt.exec_done[idx] = true;
+            if self.is_observer {
+                if let Some(tx) = run.bundle.block.tx(seq) {
+                    self.shared
+                        .trace
+                        .record(tx.id(), parblock_trace::Stage::Executed);
+                }
+            }
             let keys: Vec<Key> = match &completion.result {
                 ExecResult::Committed(writes) => writes.iter().map(|(k, _)| *k).collect(),
                 ExecResult::Aborted(_) => Vec::new(),
@@ -985,6 +1028,13 @@ impl Executor {
             };
             run.executed[idx] = true;
             run.we_remaining -= 1;
+            if self.is_observer {
+                if let Some(tx) = run.bundle.block.tx(seq) {
+                    self.shared
+                        .trace
+                        .record(tx.id(), parblock_trace::Stage::Validated);
+                }
+            }
             let graph = run
                 .bundle
                 .graph
@@ -1346,6 +1396,13 @@ impl Executor {
                 if self.shared.spec.capture_state {
                     self.shared.metrics.set_state_digest(self.state.digest());
                 }
+                // The seal above is synchronous, so stamping after it
+                // returns charges the fsync (on disk) to the
+                // committed→durable gap — in memory the gap collapses
+                // to the drain-loop overhead.
+                self.shared.trace.record_durable_block(
+                    run.bundle.block.transactions().iter().map(|tx| tx.id()),
+                );
             }
             self.held_commits.remove(&next);
             appended = true;

@@ -154,6 +154,7 @@ pub fn run(spec: &ClusterSpec, load: &LoadSpec) -> RunReport {
     net.shutdown();
     let mut report = shared.metrics.report();
     report.messages = messages;
+    report.trace = shared.trace.snapshot();
     report
 }
 
@@ -301,6 +302,7 @@ fn run_fixed_impl(
     net.shutdown();
     let mut report = shared.metrics.report();
     report.messages = messages;
+    report.trace = shared.trace.snapshot();
     report
 }
 

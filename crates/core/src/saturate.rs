@@ -96,6 +96,23 @@ impl SaturateConfig {
     }
 }
 
+/// Per-stage-pair latency summary of one sweep step: which lifecycle
+/// gap (DESIGN.md §14) holds how much of the commit latency at this
+/// offered rate. Empty unless the swept spec enables tracing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageSummary {
+    /// Gap start stage.
+    pub from: parblock_trace::Stage,
+    /// Gap end stage.
+    pub to: parblock_trace::Stage,
+    /// Transactions that passed through both stages.
+    pub count: u64,
+    /// Median gap latency.
+    pub p50: Duration,
+    /// 99th-percentile gap latency.
+    pub p99: Duration,
+}
+
 /// One step of a saturation sweep.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SaturatePoint {
@@ -126,12 +143,27 @@ pub struct SaturatePoint {
     pub driver_max_lag: Duration,
     /// Arrivals shed by the admission cap (zero without one).
     pub admission_shed: u64,
+    /// Per-stage latency breakdown (populated when the spec traces):
+    /// shows which lifecycle stage saturates first as the rate climbs.
+    pub stages: Vec<StageSummary>,
 }
 
 impl SaturatePoint {
     /// Derives a sweep point from one run's report.
     #[must_use]
     pub fn from_report(offered_tps: f64, report: &RunReport) -> Self {
+        let stages = report
+            .trace
+            .pairs
+            .iter()
+            .map(|pair| StageSummary {
+                from: pair.from,
+                to: pair.to,
+                count: pair.hist.count(),
+                p50: Duration::from_nanos(pair.hist.percentile(0.50)),
+                p99: Duration::from_nanos(pair.hist.percentile(0.99)),
+            })
+            .collect();
         SaturatePoint {
             offered_tps,
             achieved_tps: report.achieved_tps(),
@@ -144,6 +176,7 @@ impl SaturatePoint {
             driver_overruns: report.driver_overruns,
             driver_max_lag: report.driver_max_lag,
             admission_shed: report.admission_shed,
+            stages,
         }
     }
 
@@ -332,6 +365,7 @@ mod tests {
                 driver_overruns: 0,
                 driver_max_lag: Duration::ZERO,
                 admission_shed: 0,
+                stages: Vec::new(),
             }],
             0.99,
         );

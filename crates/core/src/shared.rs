@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use parblock_contracts::AppRegistry;
 use parblock_crypto::KeyRegistry;
+use parblock_trace::TraceRecorder;
 use parblock_types::{Clock, Key, Value};
 use parblock_workload::WorkloadGen;
 
@@ -23,6 +24,10 @@ pub(crate) struct Shared {
     /// runner, a simulated clock under the deterministic scheduler
     /// (DESIGN.md §10). Every node reads *now* through this.
     pub clock: Clock,
+    /// Per-transaction lifecycle recorder (DESIGN.md §14); disabled
+    /// unless `spec.trace.enabled`. Stage hooks across the driver,
+    /// orderer, scheduler, executors and store all write here.
+    pub trace: TraceRecorder,
 }
 
 impl Shared {
@@ -45,13 +50,15 @@ impl Shared {
             let _ = std::fs::remove_dir_all(data_dir);
         }
         let genesis = WorkloadGen::new(spec.workload_config()).genesis();
+        let trace = TraceRecorder::new(&clock, spec.trace);
         Arc::new(Shared {
             registry: spec.registry(),
             keys: spec.build_keys(),
-            metrics: Metrics::with_clock(clock.clone()),
+            metrics: Metrics::with_clock_and_trace(clock.clone(), trace.clone()),
             stop: Arc::new(AtomicBool::new(false)),
             genesis,
             clock,
+            trace,
             spec,
         })
     }

@@ -585,6 +585,7 @@ pub fn run_sim(config: &SimConfig) -> SimOutcome {
 
     let mut report = cluster.shared.metrics.report();
     report.messages = cluster.net.stats().sent();
+    report.trace = cluster.shared.trace.snapshot();
     let events = cluster.events;
     cluster.net.shutdown();
     SimOutcome {

@@ -9,7 +9,8 @@
 
 use std::collections::VecDeque;
 
-use parblock_types::SeqNo;
+use parblock_trace::{Stage, TraceRecorder};
+use parblock_types::{SeqNo, TxId};
 
 use crate::graph::DependencyGraph;
 
@@ -48,6 +49,10 @@ pub struct ReadyTracker {
     /// Positions that became ready but have not been taken yet.
     ready: VecDeque<SeqNo>,
     completed: usize,
+    /// Lifecycle sink (DESIGN.md §14): when attached, every readiness
+    /// transition stamps `Stage::GraphReady` on the position's
+    /// transaction. `None` (the default) costs nothing on the hot path.
+    trace: Option<Box<(TraceRecorder, Vec<TxId>)>>,
 }
 
 impl ReadyTracker {
@@ -81,6 +86,35 @@ impl ReadyTracker {
             pending_preds,
             ready,
             completed: 0,
+            trace: None,
+        }
+    }
+
+    /// Attaches a lifecycle recorder: from now on every position that
+    /// becomes ready is stamped [`Stage::GraphReady`] on `ids[position]`
+    /// (the block's transaction ids, in sequence order). Positions already
+    /// queued — roots readied during construction — are stamped
+    /// retroactively here, so attaching right after construction loses
+    /// nothing.
+    pub fn set_trace(&mut self, recorder: TraceRecorder, ids: Vec<TxId>) {
+        if !recorder.enabled() {
+            return;
+        }
+        let queued: Vec<SeqNo> = self.ready.iter().copied().collect();
+        self.trace = Some(Box::new((recorder, ids)));
+        for seq in queued {
+            self.note_ready(seq);
+        }
+    }
+
+    /// Stamps `Stage::GraphReady` on a newly ready position, if a
+    /// recorder is attached.
+    fn note_ready(&self, x: SeqNo) {
+        if let Some(sink) = &self.trace {
+            let (recorder, ids) = sink.as_ref();
+            if let Some(&tx) = ids.get(x.0 as usize) {
+                recorder.record(tx, Stage::GraphReady);
+            }
         }
     }
 
@@ -104,6 +138,7 @@ impl ReadyTracker {
         self.pending_preds[idx] -= 1;
         if self.pending_preds[idx] == 0 {
             self.ready.push_back(x);
+            self.note_ready(x);
             true
         } else {
             false
@@ -144,6 +179,9 @@ impl ReadyTracker {
                 self.ready.push_back(succ);
                 newly.push(succ);
             }
+        }
+        for &succ in &newly {
+            self.note_ready(succ);
         }
         newly
     }

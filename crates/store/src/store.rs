@@ -297,6 +297,10 @@ impl Store {
 #[derive(Debug)]
 pub struct OnDisk {
     store: Store,
+    /// Lifecycle recorder (DESIGN.md §14): when attached (observer node,
+    /// tracing enabled), every `seal_block` duration — the fsync barrier
+    /// on the commit path — feeds the trace's seal histogram.
+    trace: parblock_trace::TraceRecorder,
 }
 
 impl OnDisk {
@@ -307,7 +311,19 @@ impl OnDisk {
     /// See [`Store::open`].
     pub fn open(dir: &Path, config: DurabilityConfig) -> io::Result<(Self, Recovered)> {
         let (store, recovered) = Store::open(dir, config)?;
-        Ok((OnDisk { store }, recovered))
+        Ok((
+            OnDisk {
+                store,
+                trace: parblock_trace::TraceRecorder::default(),
+            },
+            recovered,
+        ))
+    }
+
+    /// Attaches a lifecycle recorder; subsequent block seals are timed
+    /// into its seal histogram. A disabled recorder is free.
+    pub fn set_trace(&mut self, trace: parblock_trace::TraceRecorder) {
+        self.trace = trace;
     }
 
     /// The wrapped store (for inspection in tests and tools).
@@ -331,9 +347,15 @@ impl Durability for OnDisk {
         head: Hash32,
         state: &mut MvccState,
     ) {
+        // Timestamps come from the recorder's injected clock, never the
+        // wall clock directly, so the virtual-time leg stays reproducible.
+        let sealing_since = self.trace.clock().map(parblock_types::Clock::now);
         self.store
             .seal_block(block, graph, head)
             .expect("block seal failed: node cannot guarantee durability");
+        if let Some(started) = sealing_since {
+            self.trace.record_seal(started);
+        }
         // GC and checkpointing advance together: prune to the new
         // watermark, and snapshot the *pruned* state when due.
         prune_to_sealed(block, state);

@@ -1,0 +1,305 @@
+//! Mergeable log-bucketed (HDR-style) latency histograms.
+//!
+//! Values are bucketed into power-of-two octaves, each subdivided into
+//! [`SUB_BUCKETS`] linear sub-buckets, so the bucket width is at most
+//! `value / 16`: any percentile read off the histogram lands in the same
+//! bucket as the exact nearest-rank sample, i.e. within 6.25% relative
+//! error. Values below [`SUB_BUCKETS`] are exact (one bucket per value).
+//!
+//! Histograms merge by element-wise count addition, which is
+//! associative and commutative — per-shard recorders can be combined in
+//! any order and produce identical results.
+
+use parblock_types::wire::Wire;
+
+/// Linear sub-buckets per power-of-two octave.
+pub const SUB_BUCKETS: usize = 16;
+
+/// Total bucket count: 16 exact unit buckets for values `0..16`, then
+/// 16 sub-buckets for each octave `[2^o, 2^(o+1))`, `o = 4..=63`.
+pub const BUCKETS: usize = SUB_BUCKETS + 60 * SUB_BUCKETS;
+
+/// A fixed-shape log-bucketed histogram over `u64` values (the tracer
+/// stores nanoseconds; the unit is the caller's).
+///
+/// The default value is the empty histogram; `counts` stays unallocated
+/// until the first sample so an idle stage pair costs nothing.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Histogram {
+    /// Either empty (no samples) or exactly [`BUCKETS`] long.
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+/// The bucket a value falls into.
+#[must_use]
+pub(crate) fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS as u64 {
+        v as usize
+    } else {
+        let octave = 63 - v.leading_zeros() as usize; // >= 4
+        let sub = ((v >> (octave - 4)) & 15) as usize;
+        SUB_BUCKETS * (octave - 3) + sub
+    }
+}
+
+/// The inclusive `[lower, upper]` value range of a bucket.
+#[must_use]
+pub(crate) fn bucket_bounds(index: usize) -> (u64, u64) {
+    if index < SUB_BUCKETS {
+        (index as u64, index as u64)
+    } else {
+        let octave = index / SUB_BUCKETS + 3;
+        let sub = (index % SUB_BUCKETS) as u64;
+        let lower = (SUB_BUCKETS as u64 + sub) << (octave - 4);
+        (lower, lower + ((1u64 << (octave - 4)) - 1))
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        if self.counts.is_empty() {
+            self.counts = vec![0; BUCKETS];
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.counts[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Total number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` when no samples have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all samples (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (exact), `None` when empty.
+    #[must_use]
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample (exact), `None` when empty.
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of all samples, 0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Nearest-rank percentile, `p` in `[0, 1]`; 0 when empty.
+    ///
+    /// Returns the upper bound of the bucket holding the nearest-rank
+    /// sample, clamped into `[min, max]` — always in the same bucket as
+    /// the exact sorted-vec percentile
+    /// ([`crate::report::TraceReport`] relies on this agreement; the
+    /// property tests pin it).
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+        #[allow(clippy::cast_sign_loss)]
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (index, &n) in self.counts.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                let (_, upper) = bucket_bounds(index);
+                return upper.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Adds every sample of `other` into `self` (associative and
+    /// commutative: shard recorders merge in any order).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        for (into, from) in self.counts.iter_mut().zip(&other.counts) {
+            *into += from;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Appends a canonical byte encoding (for digests): only populated
+    /// buckets, as sorted `(index, count)` pairs.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        self.count.encode(out);
+        self.sum.encode(out);
+        self.min.encode(out);
+        self.max.encode(out);
+        let populated = self.counts.iter().filter(|&&n| n != 0).count() as u64;
+        populated.encode(out);
+        for (index, &n) in self.counts.iter().enumerate() {
+            if n != 0 {
+                (index as u64).encode(out);
+                n.encode(out);
+            }
+        }
+    }
+
+    /// Iterates populated buckets as `(lower, upper, count)` in
+    /// ascending value order.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts.iter().enumerate().filter(|(_, &n)| n != 0).map(|(index, &n)| {
+            let (lower, upper) = bucket_bounds(index);
+            (lower, upper, n)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_contiguous_and_total() {
+        // Every boundary value maps into a bucket whose bounds contain
+        // it, and bucket ranges tile the u64 line in order.
+        let mut expected_lower = 0u64;
+        for index in 0..BUCKETS {
+            let (lower, upper) = bucket_bounds(index);
+            assert_eq!(lower, expected_lower, "bucket {index} starts where the last ended");
+            assert!(upper >= lower);
+            assert_eq!(bucket_index(lower), index);
+            assert_eq!(bucket_index(upper), index);
+            expected_lower = upper.wrapping_add(1);
+        }
+        assert_eq!(expected_lower, 0, "last bucket ends at u64::MAX");
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for v in [16u64, 100, 999, 1_000_000, u64::MAX / 3] {
+            let (lower, upper) = bucket_bounds(bucket_index(v));
+            assert!((upper - lower) as f64 <= v as f64 / 16.0 + 1.0, "v={v}");
+        }
+    }
+
+    #[test]
+    fn exact_below_cutoff() {
+        let mut h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.5), 7);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(15));
+        assert_eq!(h.mean(), 7);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(0.99), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h, Histogram::default());
+    }
+
+    #[test]
+    fn single_sample_dominates_every_percentile() {
+        let mut h = Histogram::new();
+        h.record(123_456);
+        for p in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(h.percentile(p), 123_456, "single sample is exact via clamping");
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let samples_a = [3u64, 17, 17, 999, 1_000_000];
+        let samples_b = [0u64, 25_000, u64::MAX];
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in samples_a {
+            a.record(v);
+            all.record(v);
+        }
+        for v in samples_b {
+            b.record(v);
+            all.record(v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged, all);
+        // Merge into empty clones the source.
+        let mut from_empty = Histogram::new();
+        from_empty.merge(&all);
+        assert_eq!(from_empty, all);
+    }
+
+    #[test]
+    fn encoding_is_stable_and_distinguishes_content() {
+        let mut a = Histogram::new();
+        a.record(42);
+        let mut bytes1 = Vec::new();
+        let mut bytes2 = Vec::new();
+        a.encode_into(&mut bytes1);
+        a.encode_into(&mut bytes2);
+        assert_eq!(bytes1, bytes2);
+        let mut b = Histogram::new();
+        b.record(43);
+        let mut other = Vec::new();
+        b.encode_into(&mut other);
+        assert_ne!(bytes1, other);
+    }
+
+    #[test]
+    fn buckets_iterator_reports_populated_ranges() {
+        let mut h = Histogram::new();
+        h.record(5);
+        h.record(5);
+        h.record(40);
+        let buckets: Vec<_> = h.buckets().collect();
+        assert_eq!(buckets[0], (5, 5, 2));
+        let (lower, upper, n) = buckets[1];
+        assert!(lower <= 40 && 40 <= upper);
+        assert_eq!(n, 1);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests pinning the log-bucketed histogram to a counting
+//! nearest-rank reference (the same reference style as
+//! `crates/core/tests/percentile_props.rs`): for every percentile the
+//! histogram must land in the *same bucket* as the exact sorted-vec
+//! answer — the "within one bucket" contract DESIGN.md §14 advertises —
+//! and merging shards must be associative and equal to recording
+//! everything into one histogram.
+
+use proptest::prelude::*;
+
+use parblock_trace::Histogram;
+
+/// Counting definition of the nearest-rank percentile: the smallest
+/// sample with at least `p·N` samples at or below it.
+fn reference_percentile(samples: &[u64], p: f64) -> u64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len() as f64;
+    for &v in &sorted {
+        let at_or_below = sorted.iter().filter(|&&x| x <= v).count() as f64;
+        if at_or_below >= p * n {
+            return v;
+        }
+    }
+    *sorted.last().expect("non-empty")
+}
+
+fn histogram_of(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+/// Same-bucket predicate: `a` and `b` bucket identically when recording
+/// each into a fresh histogram produces equal single-bucket shapes.
+fn same_bucket(a: u64, b: u64) -> bool {
+    let (ha, hb) = (histogram_of(&[a]), histogram_of(&[b]));
+    let bounds_a = ha.buckets().next().map(|(lo, up, _)| (lo, up));
+    let bounds_b = hb.buckets().next().map(|(lo, up, _)| (lo, up));
+    bounds_a == bounds_b
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// p50/p99/p999 (and arbitrary p) agree with the counting
+    /// reference within one bucket, on tie-heavy small ranges.
+    #[test]
+    fn percentiles_agree_with_reference_within_one_bucket_ties(
+        samples in proptest::collection::vec(0u64..50, 1..120),
+        p_mill in 0u32..=1000,
+    ) {
+        let h = histogram_of(&samples);
+        let p = f64::from(p_mill) / 1000.0;
+        let exact = reference_percentile(&samples, p);
+        let approx = h.percentile(p);
+        prop_assert!(same_bucket(exact, approx), "p={p}: exact {exact} vs hist {approx}");
+        // Values below 16 are bucketed exactly, so ties must be exact.
+        if exact < 16 {
+            prop_assert_eq!(approx, exact);
+        }
+    }
+
+    /// The same agreement over the full magnitude range the tracer
+    /// records (nanoseconds up to minutes).
+    #[test]
+    fn percentiles_agree_with_reference_within_one_bucket_wide(
+        samples in proptest::collection::vec(0u64..120_000_000_000, 1..80),
+        p_mill in 0u32..=1000,
+    ) {
+        let p = f64::from(p_mill) / 1000.0;
+        let h = histogram_of(&samples);
+        let exact = reference_percentile(&samples, p);
+        let approx = h.percentile(p);
+        prop_assert!(same_bucket(exact, approx), "p={p}: exact {exact} vs hist {approx}");
+        // Log-bucketing bounds the relative error at one sub-bucket.
+        let err = approx.abs_diff(exact) as f64;
+        prop_assert!(err <= exact as f64 / 16.0 + 1.0, "p={p}: err {err} vs exact {exact}");
+    }
+
+    /// Percentiles never leave the recorded range and are monotone in p.
+    #[test]
+    fn percentiles_are_bounded_and_monotone(
+        samples in proptest::collection::vec(0u64..1_000_000, 1..60),
+        ps in proptest::collection::vec(0u32..=1000, 2..6),
+    ) {
+        let h = histogram_of(&samples);
+        let min = *samples.iter().min().expect("non-empty");
+        let max = *samples.iter().max().expect("non-empty");
+        let mut sorted_ps = ps;
+        sorted_ps.sort_unstable();
+        let mut last = 0u64;
+        for p_mill in sorted_ps {
+            let v = h.percentile(f64::from(p_mill) / 1000.0);
+            prop_assert!(v >= min && v <= max);
+            prop_assert!(v >= last, "percentile must be monotone in p");
+            last = v;
+        }
+    }
+
+    /// A single sample is every percentile, exactly.
+    #[test]
+    fn single_sample_is_every_percentile(value in 0u64..u64::MAX, p_mill in 0u32..=1000) {
+        let h = histogram_of(&[value]);
+        prop_assert_eq!(h.percentile(f64::from(p_mill) / 1000.0), value);
+    }
+
+    /// Merging shards is associative and equals one big histogram —
+    /// sharded recorders can combine in any order.
+    #[test]
+    fn merge_is_associative_and_equals_single_recording(
+        a in proptest::collection::vec(0u64..1_000_000_000, 0..40),
+        b in proptest::collection::vec(0u64..1_000_000_000, 0..40),
+        c in proptest::collection::vec(0u64..1_000_000_000, 0..40),
+    ) {
+        let (ha, hb, hc) = (histogram_of(&a), histogram_of(&b), histogram_of(&c));
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right, "(a+b)+c == a+(b+c)");
+        let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        prop_assert_eq!(&left, &histogram_of(&all), "merge == single recording");
+    }
+}
+
+#[test]
+fn empty_histogram_percentiles_are_zero() {
+    let h = Histogram::new();
+    for p in [0.0, 0.5, 0.99, 0.999, 1.0] {
+        assert_eq!(h.percentile(p), 0);
+    }
+}

@@ -111,6 +111,18 @@ impl Clock {
         }
     }
 
+    /// Nanoseconds elapsed from `origin` to [`Clock::now`], saturating
+    /// at zero when `origin` is in the future (and at `u64::MAX` far
+    /// past it). This is the timestamp-as-offset primitive the tracer
+    /// uses: offsets from a fixed origin are bit-deterministic under a
+    /// simulated clock even though the absolute base instant differs
+    /// between processes.
+    #[must_use]
+    pub fn ns_since(&self, origin: Instant) -> u64 {
+        let elapsed = self.now().saturating_duration_since(origin);
+        u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX)
+    }
+
     /// Advances a simulated clock by `delta`.
     ///
     /// # Panics
@@ -188,5 +200,17 @@ mod tests {
     #[should_panic(expected = "cannot advance the wall clock")]
     fn advancing_wall_clock_panics() {
         Clock::wall().advance(Duration::from_secs(1));
+    }
+
+    #[test]
+    fn ns_since_saturates_and_tracks_virtual_offsets() {
+        let clock = Clock::simulated();
+        let origin = clock.now();
+        assert_eq!(clock.ns_since(origin), 0);
+        clock.advance(Duration::from_micros(7));
+        assert_eq!(clock.ns_since(origin), 7_000);
+        // A future origin saturates to zero instead of panicking.
+        let future = clock.now() + Duration::from_secs(1);
+        assert_eq!(clock.ns_since(future), 0);
     }
 }
