@@ -44,8 +44,8 @@ use parblock_bench::{
     ablation_commit_batching, ablation_durability, ablation_mode, ablation_mv_graph,
     ablation_pipeline, ablation_streaming, default_data_dir, default_seed_file, explore_one,
     explore_sweep, fig5_block_size, fig6_contention, fig7_geo, knee_summary, load_seed_file,
-    parse_rates, recover_demo, run_saturate, run_trace, saturate_table, trace_table,
-    write_saturate_json, write_trace_artifacts, ExperimentScale, SaturateOptions, Table,
+    check_knee_baseline, parse_rates, recover_demo, run_saturate, run_trace, saturate_table,
+    trace_table, write_saturate_json, write_trace_artifacts, ExperimentScale, SaturateOptions, Table,
     TraceOptions,
 };
 use parblock_types::ArrivalProcess;
@@ -144,6 +144,25 @@ fn run_saturate_cmd(args: &[String], scale: ExperimentScale) {
             Ok(path) => println!("(json written to {})", path.display()),
             Err(e) => {
                 eprintln!("saturate: json write failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    // Performance ratchet: diff the detected knee against a committed
+    // baseline artifact; a >10% regression fails the run (CI gate).
+    if let Some(baseline_path) = arg_value("--check-baseline") {
+        // lint:allow(file-io) — reads the committed knee-baseline artifact
+        let baseline = match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("saturate: cannot read baseline {baseline_path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match check_knee_baseline(&outcome, &baseline) {
+            Ok(msg) => println!("baseline check: {msg}"),
+            Err(msg) => {
+                eprintln!("saturate: baseline check FAILED: {msg}");
                 std::process::exit(1);
             }
         }
@@ -312,7 +331,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown command: {other}");
-            eprintln!("usage: repro [fig5|fig6|fig7|ablation-commit|ablation-mv|ablation-streaming|ablation-pipeline|ablation-durability|ablation-mode|recover|explore|saturate|trace|lint|all] [--contention N] [--move GROUP] [--data-dir DIR] [--full] [--seeds N] [--seed K] [--seed-file PATH] [--count N] [--no-faults] [--rates R,R,...] [--rate R] [--arrival uniform|poisson|burst] [--sim] [--on-disk] [--cap N] [--json]");
+            eprintln!("usage: repro [fig5|fig6|fig7|ablation-commit|ablation-mv|ablation-streaming|ablation-pipeline|ablation-durability|ablation-mode|recover|explore|saturate|trace|lint|all] [--contention N] [--move GROUP] [--data-dir DIR] [--full] [--seeds N] [--seed K] [--seed-file PATH] [--count N] [--no-faults] [--rates R,R,...] [--rate R] [--arrival uniform|poisson|burst] [--sim] [--on-disk] [--cap N] [--json] [--check-baseline PATH]");
             std::process::exit(2);
         }
     }

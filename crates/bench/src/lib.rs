@@ -25,7 +25,8 @@ pub use experiments::{
 pub use explore_cmd::{default_seed_file, explore_one, explore_sweep, load_seed_file};
 pub use recover::{default_data_dir, recover_demo};
 pub use saturate_cmd::{
-    knee_summary, parse_rates, run_saturate, saturate_json, saturate_table, write_saturate_json,
+    check_knee_baseline, knee_summary, parse_knee_tps, parse_rates, run_saturate, saturate_json,
+    saturate_table, write_saturate_json,
     SaturateOptions,
 };
 pub use table::Table;

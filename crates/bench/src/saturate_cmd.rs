@@ -251,6 +251,63 @@ pub fn write_saturate_json(outcome: &SaturateOutcome, options: &SaturateOptions)
     Ok(path)
 }
 
+/// Extracts the `"knee_tps"` field from a saturate JSON artifact.
+/// Returns `None` when the field is `null` or absent.
+#[must_use]
+pub fn parse_knee_tps(json: &str) -> Option<f64> {
+    let rest = json.split("\"knee_tps\":").nth(1)?;
+    let raw = rest
+        .trim_start()
+        .split([',', '\n', '}'])
+        .next()?
+        .trim();
+    raw.parse::<f64>().ok()
+}
+
+/// Maximum tolerated knee regression against the committed baseline.
+pub const KNEE_REGRESSION_TOLERANCE: f64 = 0.10;
+
+/// Diffs the sweep's detected knee against a committed baseline
+/// artifact (the `saturate-smoke` CI gate): the run fails when the knee
+/// drops more than [`KNEE_REGRESSION_TOLERANCE`] below the baseline's.
+/// The sim leg is a pure function of the seed, so on CI this is an
+/// exact performance ratchet, not a noisy threshold.
+///
+/// # Errors
+///
+/// Returns a human-readable failure when the baseline is unusable, the
+/// sweep found no knee while the baseline has one, or the knee
+/// regressed beyond tolerance.
+pub fn check_knee_baseline(
+    outcome: &SaturateOutcome,
+    baseline_json: &str,
+) -> Result<String, String> {
+    let Some(baseline) = parse_knee_tps(baseline_json) else {
+        return Err("baseline artifact has no knee_tps to compare against".into());
+    };
+    let Some(current) = outcome.knee_tps else {
+        return Err(format!(
+            "sweep detected no knee (every step past saturation) — baseline expects {baseline:.0} tps"
+        ));
+    };
+    let floor = baseline * (1.0 - KNEE_REGRESSION_TOLERANCE);
+    if current < floor {
+        return Err(format!(
+            "knee regressed: {current:.0} tps vs baseline {baseline:.0} tps \
+             (floor {floor:.0}, tolerance {:.0}%)",
+            KNEE_REGRESSION_TOLERANCE * 100.0
+        ));
+    }
+    Ok(format!(
+        "knee {current:.0} tps vs baseline {baseline:.0} tps — within tolerance{}",
+        if current > baseline {
+            " (improved: consider refreshing the baseline)"
+        } else {
+            ""
+        }
+    ))
+}
+
 /// Parses the `--rates` CLI spelling: comma-separated positive tps
 /// values, e.g. `--rates 500,1000,4000`.
 #[must_use]
@@ -306,6 +363,36 @@ mod tests {
             saturate_json(&b, &options),
             "the JSON artifact of a seeded sim sweep must be bit-stable"
         );
+    }
+
+    #[test]
+    fn knee_parses_from_artifact_json() {
+        assert_eq!(parse_knee_tps("{\n  \"knee_tps\": 1600.0,\n}"), Some(1600.0));
+        assert_eq!(parse_knee_tps("{\"knee_tps\": null,}"), None);
+        assert_eq!(parse_knee_tps("{\"bench\": \"saturate\"}"), None);
+    }
+
+    #[test]
+    fn knee_baseline_gate_passes_and_fails() {
+        let (outcome, _) = tiny_outcome();
+        let knee = outcome.knee_tps.expect("contention-1.0 sweep has a knee");
+
+        // Equal baseline: pass.
+        let same = format!("{{\"knee_tps\": {knee:.1}}}");
+        assert!(check_knee_baseline(&outcome, &same).is_ok());
+
+        // Knee just inside tolerance of a slightly better baseline: pass.
+        let above = format!("{{\"knee_tps\": {:.1}}}", knee * 1.05);
+        assert!(check_knee_baseline(&outcome, &above).is_ok());
+
+        // Baseline >10% above the detected knee: fail.
+        let far_above = format!("{{\"knee_tps\": {:.1}}}", knee * 1.2);
+        let err = check_knee_baseline(&outcome, &far_above).unwrap_err();
+        assert!(err.contains("regressed"), "{err}");
+
+        // Unusable baseline: fail loudly, not silently pass.
+        assert!(check_knee_baseline(&outcome, "{\"knee_tps\": null}").is_err());
+        assert!(check_knee_baseline(&outcome, "{}").is_err());
     }
 
     #[test]

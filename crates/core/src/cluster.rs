@@ -151,6 +151,16 @@ fn env_exec_mode() -> ExecutionMode {
         .unwrap_or_default()
 }
 
+/// The default mailbox engine: the `PARBLOCK_LEGACY_MAILBOXES` environment
+/// variable when it parses to a boolean (`1`/`true` pins the pre-§15
+/// single-queue engine; the equivalence battery sets it), sharded otherwise.
+fn env_legacy_mailboxes() -> bool {
+    std::env::var("PARBLOCK_LEGACY_MAILBOXES")
+        .ok()
+        .map(|raw| matches!(raw.trim(), "1" | "true" | "yes"))
+        .unwrap_or(false)
+}
+
 /// Datacenter latency model for an experiment.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TopologySpec {
@@ -246,6 +256,13 @@ pub struct ClusterSpec {
     /// default: recording costs one branch per stage and the
     /// `RunReport` digest stays byte-identical to pre-tracing runs.
     pub trace: parblock_trace::TraceConfig,
+    /// Ablation knob: run the network on the pre-§15 single-queue
+    /// mailbox engine (one global lock + condvar, one wakeup per
+    /// enqueue) instead of the per-destination sharded engine. Both
+    /// engines deliver bit-identical schedules; the equivalence battery
+    /// pins that. Defaults to the `PARBLOCK_LEGACY_MAILBOXES`
+    /// environment variable when set, sharded otherwise.
+    pub legacy_mailboxes: bool,
     /// RNG seed.
     pub seed: u64,
 }
@@ -279,6 +296,7 @@ impl ClusterSpec {
             capture_state: false,
             commit_flush: CommitFlush::default(),
             trace: parblock_trace::TraceConfig::default(),
+            legacy_mailboxes: env_legacy_mailboxes(),
             seed: 42,
         }
     }

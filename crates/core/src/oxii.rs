@@ -627,11 +627,14 @@ impl Executor {
                     .record_at(item.tx.id(), parblock_trace::Stage::Dispatched, now);
             }
         }
-        for item in items {
+        // One handoff for the whole ready set (DESIGN.md §15): the
+        // backend is resolved once and, in deterministic mode, one clock
+        // read stamps every completion due time.
+        if !items.is_empty() {
             match &mut self.backend {
-                ExecBackend::Pool(pool) => pool.dispatch(item),
+                ExecBackend::Pool(pool) => pool.dispatch_batch(items),
                 ExecBackend::Inline(queue) => {
-                    queue.dispatch(item, self.shared.clock.now());
+                    queue.dispatch_batch(items, self.shared.clock.now());
                 }
             }
         }
@@ -1146,26 +1149,34 @@ impl Executor {
         let Some(waiters) = self.xwaiters.remove(&(number, seq)) else {
             return;
         };
+        // Group waiters by block: one batched release and one dispatch
+        // handoff per waiting block, instead of one per waiter
+        // (DESIGN.md §15). Waiter order within a block is preserved, so
+        // deterministic-mode ticket order is unchanged.
+        let mut by_block: BTreeMap<u64, Vec<SeqNo>> = BTreeMap::new();
         for (wait_block, wait_seq) in waiters {
+            by_block.entry(wait_block).or_default().push(wait_seq);
+        }
+        for (wait_block, wait_seqs) in by_block {
             let now_ready = {
                 let Some(run) = self.runs.get_mut(&wait_block) else {
                     continue;
                 };
-                let ready = run.tracker.release_external(wait_seq);
+                let newly = run.tracker.release_external_batch(&wait_seqs);
                 match &mut run.engine {
-                    Engine::Pessimistic => ready,
+                    Engine::Pessimistic => newly,
                     Engine::Optimistic(opt) => {
                         // Speculation never waited; only validation does.
-                        // The scan picks the position up on the next pump.
-                        if ready {
-                            opt.validate_ready[wait_seq.0 as usize] = true;
+                        // The scan picks the positions up on the next pump.
+                        for &ready in &newly {
+                            opt.validate_ready[ready.0 as usize] = true;
                         }
-                        false
+                        Vec::new()
                     }
                 }
             };
-            if now_ready {
-                self.dispatch_ready(wait_block, &[wait_seq]);
+            if !now_ready.is_empty() {
+                self.dispatch_ready(wait_block, &now_ready);
             }
         }
     }
@@ -1410,10 +1421,22 @@ impl Executor {
     }
 }
 
+/// Version tag leading every COMMIT digest preimage. Bump on any layout
+/// change so preimages from different layouts can never collide.
+const COMMIT_DIGEST_VERSION: u8 = 1;
+
 /// Digest of a COMMIT message's contents (signed by the executor).
+///
+/// Values are serialized with [`Value`]'s canonical wire encoding. An
+/// earlier revision rendered them through `format!("{value:?}")`, which
+/// allocated a `String` per write on the commit hot path and — worse —
+/// made the signature preimage depend on `Debug` output, which Rust
+/// does not guarantee stable across releases (a silent rolling-upgrade
+/// signature break). That pattern is now a `hot-path-alloc` lint error.
 fn commit_digest(block: BlockNumber, results: &[(SeqNo, ExecResult)]) -> Hash32 {
     use parblock_types::wire::Wire;
     let mut bytes = Vec::new();
+    COMMIT_DIGEST_VERSION.encode(&mut bytes);
     block.0.encode(&mut bytes);
     for (seq, result) in results {
         u64::from(seq.0).encode(&mut bytes);
@@ -1423,8 +1446,7 @@ fn commit_digest(block: BlockNumber, results: &[(SeqNo, ExecResult)]) -> Hash32 
                 (writes.len() as u64).encode(&mut bytes);
                 for (key, value) in writes {
                     key.0.encode(&mut bytes);
-                    // Value encoding for digest purposes only.
-                    format!("{value:?}").as_str().encode(&mut bytes);
+                    value.encode(&mut bytes);
                 }
             }
             ExecResult::Aborted(_) => 1u8.encode(&mut bytes),
@@ -1445,4 +1467,109 @@ pub(crate) fn spawn_executor(
         .name(name)
         .spawn(move || Executor::new(shared, endpoint).run())
         .expect("spawn executor")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parblock_types::wire::Wire;
+
+    fn sample_results() -> Vec<(SeqNo, ExecResult)> {
+        vec![
+            (
+                SeqNo(0),
+                ExecResult::Committed(vec![
+                    (Key(1), Value::Int(5)),
+                    (Key(2), Value::Text("paid".into())),
+                ]),
+            ),
+            (SeqNo(1), ExecResult::Aborted("missing state".into())),
+            (
+                SeqNo(3),
+                ExecResult::Committed(vec![(Key(7), Value::Bytes(vec![0xde, 0xad]))]),
+            ),
+        ]
+    }
+
+    /// Pins the COMMIT digest preimage layout. If this golden value
+    /// moves, `COMMIT_DIGEST_VERSION` must be bumped in the same change:
+    /// executors signing the old layout and verifiers hashing the new
+    /// one would otherwise reject each other's COMMITs mid-upgrade.
+    #[test]
+    fn commit_digest_is_pinned() {
+        let digest = commit_digest(BlockNumber(9), &sample_results());
+        assert_eq!(
+            digest.to_hex(),
+            "2d9ecd938f82c5091551467b21dc528ec6f92fa65629f7e25397b7658dc4f10d"
+        );
+    }
+
+    /// The digest must use `Value`'s canonical wire encoding, not its
+    /// `Debug` rendering: Debug output is not a stable wire format (and
+    /// allocated a `String` per write on the commit hot path).
+    #[test]
+    fn commit_digest_does_not_depend_on_debug_rendering() {
+        let results = sample_results();
+        let legacy = {
+            let mut bytes = Vec::new();
+            BlockNumber(9).0.encode(&mut bytes);
+            for (seq, result) in &results {
+                u64::from(seq.0).encode(&mut bytes);
+                match result {
+                    ExecResult::Committed(writes) => {
+                        0u8.encode(&mut bytes);
+                        (writes.len() as u64).encode(&mut bytes);
+                        for (key, value) in writes {
+                            key.0.encode(&mut bytes);
+                            format!("{value:?}").as_str().encode(&mut bytes);
+                        }
+                    }
+                    ExecResult::Aborted(_) => 1u8.encode(&mut bytes),
+                }
+            }
+            parblock_crypto::sha256(&bytes)
+        };
+        let canonical = commit_digest(BlockNumber(9), &results);
+        assert_ne!(canonical, legacy, "digest still matches the Debug-based layout");
+    }
+
+    /// Distinct value variants with look-alike content must hash apart:
+    /// the tagged encoding separates `Text("5")` from `Int(5)` and
+    /// `Bytes` from `Text` bytes.
+    #[test]
+    fn commit_digest_separates_value_variants() {
+        let mk = |value: Value| {
+            commit_digest(
+                BlockNumber(1),
+                &[(SeqNo(0), ExecResult::Committed(vec![(Key(1), value)]))],
+            )
+        };
+        let digests = [
+            mk(Value::Int(5)),
+            mk(Value::Text("5".into())),
+            mk(Value::Bytes(b"5".to_vec())),
+            mk(Value::Unit),
+        ];
+        for (i, a) in digests.iter().enumerate() {
+            for b in &digests[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    /// Abort reasons are intentionally outside the digest (agents may
+    /// produce differently worded reasons for the same deterministic
+    /// abort; τ(A) matching only needs the outcome).
+    #[test]
+    fn commit_digest_ignores_abort_reason_wording() {
+        let a = commit_digest(
+            BlockNumber(2),
+            &[(SeqNo(0), ExecResult::Aborted("missing state".into()))],
+        );
+        let b = commit_digest(
+            BlockNumber(2),
+            &[(SeqNo(0), ExecResult::Aborted("account absent".into()))],
+        );
+        assert_eq!(a, b);
+    }
 }

@@ -162,6 +162,17 @@ impl ExecPool {
             .expect("workers alive");
     }
 
+    /// Hands a whole ready set to the workers in one call: the channel
+    /// handle is resolved once and items stream out back-to-back, so a
+    /// 1000-transaction low-conflict block is one handoff, not 1000
+    /// (DESIGN.md §15).
+    pub(crate) fn dispatch_batch(&self, items: Vec<WorkItem>) {
+        let tx = self.work_tx.as_ref().expect("pool running");
+        for item in items {
+            tx.send(item).expect("workers alive");
+        }
+    }
+
     pub(crate) fn completions(&self) -> &Receiver<Completion> {
         &self.done_rx
     }
@@ -238,6 +249,17 @@ impl InlineQueue {
             ticket,
             completion,
         }));
+    }
+
+    /// Dispatches a whole ready set at one instant: every completion is
+    /// due at `now + cost`, with tickets in input order. One clock read
+    /// covers the batch (per-item [`InlineQueue::dispatch`] reads agree
+    /// anyway under the virtual clock, which only advances between
+    /// settles — so batching is byte-identical, just cheaper).
+    pub(crate) fn dispatch_batch(&mut self, items: Vec<WorkItem>, now: std::time::Instant) {
+        for item in items {
+            self.dispatch(item, now);
+        }
     }
 
     /// The earliest pending completion's due time.

@@ -85,6 +85,7 @@ pub fn run(spec: &ClusterSpec, load: &LoadSpec) -> RunReport {
     let net: SimNetwork<Msg> = NetworkBuilder::new()
         .topology(spec.build_topology())
         .seed(spec.seed)
+        .legacy_mailboxes(spec.legacy_mailboxes)
         .build();
 
     let mut handles: Vec<JoinHandle<()>> = Vec::new();
@@ -236,6 +237,7 @@ fn run_fixed_impl(
     let net: SimNetwork<Msg> = NetworkBuilder::new()
         .topology(spec.build_topology())
         .seed(spec.seed)
+        .legacy_mailboxes(spec.legacy_mailboxes)
         .build();
 
     let mut handles: Vec<JoinHandle<()>> = Vec::new();

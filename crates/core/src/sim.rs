@@ -284,6 +284,7 @@ impl SimCluster {
             .seed(spec.seed)
             .clock(clock.clone())
             .manual_delivery()
+            .legacy_mailboxes(spec.legacy_mailboxes)
             .build();
         let orderer_ids = spec.orderer_ids();
         let peer_ids = spec.peer_ids();

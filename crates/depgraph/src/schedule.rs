@@ -145,6 +145,21 @@ impl ReadyTracker {
         }
     }
 
+    /// Releases one external predecessor of **each** position in
+    /// `positions`, returning the positions that became ready, in input
+    /// order. Semantics per position match
+    /// [`ReadyTracker::release_external`]; batching lets a cross-block
+    /// writer that unblocks many waiters of one block hand the whole
+    /// newly-ready set to the execution backend in a single dispatch
+    /// instead of one per waiter (DESIGN.md §15).
+    pub fn release_external_batch(&mut self, positions: &[SeqNo]) -> Vec<SeqNo> {
+        positions
+            .iter()
+            .copied()
+            .filter(|&x| self.release_external(x))
+            .collect()
+    }
+
     /// Drains and returns every transaction that is currently ready.
     pub fn take_ready(&mut self) -> Vec<SeqNo> {
         self.ready.drain(..).collect()

@@ -1,6 +1,7 @@
 //! The determinism lint family (DESIGN.md §12): wall-clock reads,
-//! stray thread spawns, file I/O outside the storage crate, and
-//! unordered-map iteration inside order-sensitive functions.
+//! stray thread spawns, file I/O outside the storage crate,
+//! unordered-map iteration inside order-sensitive functions, and heap
+//! allocation inside hot-path encode/digest/multicast functions.
 //!
 //! All rules match *token sequences* from the comment/string-aware
 //! lexer, so `Instant::now` in a doc comment, a string literal, or
@@ -13,6 +14,13 @@ use crate::report::{Finding, Rule};
 /// its output feeds digests, the wire format, or dependency-graph
 /// emission, so iteration order inside it must be deterministic.
 const CANONICAL_FN_MARKERS: [&str; 6] = ["digest", "encode", "decode", "emit", "wire", "hash"];
+
+/// Function-name substrings that mark a function as hot-path
+/// serialization or fan-out code. Per-item heap allocation there is a
+/// throughput bug; `format!` is additionally a correctness bug when the
+/// rendering feeds a digest or the wire (Rust's `Debug` output is not a
+/// stable format — the `commit_digest` incident, DESIGN.md §15).
+const HOT_PATH_FN_MARKERS: [&str; 3] = ["encode", "digest", "multicast"];
 
 /// Methods that observe a collection in iteration order.
 const ITER_METHODS: [&str; 10] = [
@@ -51,6 +59,7 @@ pub fn check_file(path: &str, toks: &[Tok]) -> Vec<Finding> {
         file_io(path, toks, &mut findings);
     }
     unordered_iter(path, toks, &mut findings);
+    hot_path_alloc(path, toks, &mut findings);
     findings
 }
 
@@ -191,6 +200,50 @@ fn unordered_iter(path: &str, toks: &[Tok], findings: &mut Vec<Finding>) {
                         ));
                     }
                 }
+            }
+        }
+    }
+}
+
+fn hot_path_alloc(path: &str, toks: &[Tok], findings: &mut Vec<Finding>) {
+    for (fn_name, (b0, b1)) in fn_bodies(toks) {
+        if !HOT_PATH_FN_MARKERS.iter().any(|m| fn_name.contains(m)) {
+            continue;
+        }
+        for i in b0..b1 {
+            // `format!(…)` — allocates, and its `{:?}` renderings are
+            // not a stable wire format. `Arc::clone(&x)` is a cheap
+            // refcount bump spelled as a path call, so only *method*
+            // calls `.clone()` / `.to_string()` are flagged.
+            let what = if toks[i].is_ident("format")
+                && toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+            {
+                Some("format!")
+            } else if toks[i].is_punct('.')
+                && toks
+                    .get(i + 1)
+                    .is_some_and(|m| m.is_ident("to_string") || m.is_ident("clone"))
+                && toks.get(i + 2).is_some_and(|p| p.is_punct('('))
+            {
+                Some(if toks[i + 1].is_ident("clone") {
+                    ".clone()"
+                } else {
+                    ".to_string()"
+                })
+            } else {
+                None
+            };
+            if let Some(what) = what {
+                findings.push(Finding::new(
+                    Rule::HotPathAlloc,
+                    path,
+                    toks[i].line,
+                    format!(
+                        "`{what}` inside hot-path fn `{fn_name}` — share the payload \
+                         (Arc) or use the canonical wire encoding; never a Debug \
+                         rendering"
+                    ),
+                ));
             }
         }
     }
@@ -404,6 +457,30 @@ mod tests {
         let src = "fn build(m: HashMap<u64, u64>) { for k in m.keys() { drop(k); } }";
         assert_eq!(run("crates/depgraph/src/graph.rs", src).len(), 1);
         assert!(run("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn flags_allocation_in_hot_path_fns_only() {
+        let src = "fn encode(v: &V, out: &mut Vec<u8>) { out.extend(format!(\"{v:?}\").bytes()); }\n\
+                   fn digest(v: &V) -> String { v.name.to_string() }\n\
+                   fn multicast(dests: &[u64], m: &M) { for d in dests { route(*d, m.clone()); } }\n\
+                   fn render(v: &V) -> String { format!(\"{v:?}\") }";
+        let findings = run("crates/core/src/x.rs", src);
+        assert_eq!(findings.len(), 3, "{findings:?}");
+        assert!(findings.iter().all(|f| f.rule == Rule::HotPathAlloc));
+        assert_eq!(
+            findings.iter().map(|f| f.line).collect::<Vec<_>>(),
+            vec![1, 2, 3],
+            "render() is not a hot-path fn"
+        );
+    }
+
+    #[test]
+    fn arc_clone_in_multicast_is_clean() {
+        let src = "fn multicast(dests: &[u64], payload: Arc<M>) {\n\
+                   for d in dests { route(*d, Arc::clone(&payload)); }\n\
+                   }";
+        assert!(run("crates/network/src/x.rs", src).is_empty());
     }
 
     #[test]

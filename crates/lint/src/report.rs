@@ -18,18 +18,24 @@ pub enum Rule {
     UnorderedIter,
     /// A contract access path not covered by its declared read/write set.
     RwsetCoverage,
+    /// `format!` / `.to_string()` / `.clone()` inside encode, digest,
+    /// or multicast functions — per-item heap allocation on the hot
+    /// path, and (for `format!`) a `Debug` rendering leaking into a
+    /// wire or digest format.
+    HotPathAlloc,
     /// An allow marker or allowlist entry that suppresses nothing (or
     /// carries no justification).
     StaleAllow,
 }
 
 /// Every rule, in reporting order.
-pub const ALL_RULES: [Rule; 6] = [
+pub const ALL_RULES: [Rule; 7] = [
     Rule::WallClock,
     Rule::ThreadSpawn,
     Rule::FileIo,
     Rule::UnorderedIter,
     Rule::RwsetCoverage,
+    Rule::HotPathAlloc,
     Rule::StaleAllow,
 ];
 
@@ -43,6 +49,7 @@ impl Rule {
             Rule::FileIo => "file-io",
             Rule::UnorderedIter => "unordered-iter",
             Rule::RwsetCoverage => "rwset-coverage",
+            Rule::HotPathAlloc => "hot-path-alloc",
             Rule::StaleAllow => "stale-allow",
         }
     }

@@ -108,6 +108,16 @@ fn good_rwset() {
 }
 
 #[test]
+fn bad_hot_path_alloc() {
+    run_fixture("bad_hot_path_alloc.rs");
+}
+
+#[test]
+fn good_hot_path_alloc() {
+    run_fixture("good_hot_path_alloc.rs");
+}
+
+#[test]
 fn allow_ok() {
     run_fixture("allow_ok.rs");
 }

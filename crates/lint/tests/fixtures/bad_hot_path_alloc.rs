@@ -1,0 +1,29 @@
+//@ path: crates/core/src/fixture_hot_path.rs
+// Known-bad: per-item heap allocation inside hot-path encode / digest /
+// multicast functions. The first case reproduces the `commit_digest`
+// bug this rule was written for: a `Debug` rendering used as a digest
+// preimage — unstable across compiler releases AND a String allocation
+// per write on the commit hot path.
+
+pub fn commit_digest(writes: &[(u64, Value)], bytes: &mut Vec<u8>) {
+    for (key, value) in writes {
+        bytes.extend_from_slice(&key.to_le_bytes());
+        let rendered = format!("{value:?}"); //~ hot-path-alloc
+        bytes.extend_from_slice(rendered.as_bytes());
+    }
+}
+
+pub fn encode_header(seq: u64, out: &mut String) {
+    out.push_str(&seq.to_string()); //~ hot-path-alloc
+}
+
+pub fn multicast_block(dests: &[u64], msg: &Block) {
+    for dest in dests {
+        route(*dest, msg.clone()); //~ hot-path-alloc
+    }
+}
+
+// Same tokens outside a hot-path function are not this rule's business.
+pub fn render_status(value: &Value) -> String {
+    format!("{value:?}")
+}

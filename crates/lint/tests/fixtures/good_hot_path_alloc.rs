@@ -1,0 +1,21 @@
+//@ path: crates/core/src/fixture_hot_path_ok.rs
+//@ suppressions: 1
+// Known-good: hot-path functions that serialize canonically and fan
+// out by sharing. `Arc::clone` is a refcount bump spelled as a path
+// call, so it never trips the rule; the single wrap-once `.clone()` a
+// multicast legitimately needs carries an allow marker.
+
+pub fn commit_digest(writes: &[(u64, Value)], bytes: &mut Vec<u8>) {
+    for (key, value) in writes {
+        bytes.extend_from_slice(&key.to_le_bytes());
+        value.encode(bytes);
+    }
+}
+
+pub fn multicast_block(dests: &[u64], msg: &Block) {
+    // lint:allow(hot-path-alloc) — one clone total, shared by every recipient
+    let payload = Arc::new(msg.clone());
+    for dest in dests {
+        route(*dest, Arc::clone(&payload));
+    }
+}

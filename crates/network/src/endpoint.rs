@@ -1,6 +1,7 @@
 //! Per-node network endpoints.
 
 use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam::channel::{Receiver, RecvTimeoutError};
@@ -63,19 +64,30 @@ impl<M: Send + 'static> Endpoint<M> {
 
     /// Sends `msg` to `to` (fire-and-forget, like UDP with FIFO-ish
     /// delivery; protocols needing reliability retransmit).
-    pub fn send(&self, to: NodeId, msg: M) {
+    pub fn send(&self, to: NodeId, msg: M)
+    where
+        M: Sync + Clone,
+    {
         self.net.route(self.id, to, msg);
     }
 
-    /// Sends a copy of `msg` to every node in `dests` (skipping self).
+    /// Sends `msg` to every node in `dests` (skipping self).
+    ///
+    /// The message is cloned **once** into an [`Arc`]-shared payload;
+    /// each recipient is enqueued a cheap handle, so an `n`-recipient
+    /// multicast of a block-sized message costs O(1) payloads instead of
+    /// O(n) deep clones (DESIGN.md §15). Latency, jitter and fault draws
+    /// stay per-destination, exactly as if each copy were sent alone.
     pub fn multicast<'a, I>(&self, dests: I, msg: &M)
     where
-        M: Clone,
+        M: Sync + Clone,
         I: IntoIterator<Item = &'a NodeId>,
     {
+        // lint:allow(hot-path-alloc) — one clone total, shared by every recipient
+        let payload = Arc::new(msg.clone());
         for &to in dests {
             if to != self.id {
-                self.send(to, msg.clone());
+                self.net.route_shared(self.id, to, Arc::clone(&payload));
             }
         }
     }

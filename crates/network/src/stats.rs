@@ -18,6 +18,8 @@ struct Counters {
     sent: AtomicU64,
     delivered: AtomicU64,
     dropped: AtomicU64,
+    enqueued: AtomicU64,
+    wakeups: AtomicU64,
 }
 
 impl NetStats {
@@ -37,6 +39,14 @@ impl NetStats {
 
     pub(crate) fn record_dropped(&self) {
         self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_enqueued(&self) {
+        self.inner.enqueued.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_wakeup(&self) {
+        self.inner.wakeups.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Reclassifies an optimistically counted delivery as dropped (the
@@ -64,11 +74,29 @@ impl NetStats {
         self.inner.dropped.load(Ordering::Relaxed)
     }
 
+    /// Messages scheduled for future delivery (zero-delay sends deliver
+    /// inline and are not counted here).
+    #[must_use]
+    pub fn enqueued(&self) -> u64 {
+        self.inner.enqueued.load(Ordering::Relaxed)
+    }
+
+    /// Delivery-worker condvar notifications. Together with
+    /// [`NetStats::enqueued`] this audits the wake protocol: the sharded
+    /// engine keeps enqueues-per-wakeup O(batch), the legacy engine wakes
+    /// once per enqueue (DESIGN.md §15).
+    #[must_use]
+    pub fn wakeups(&self) -> u64 {
+        self.inner.wakeups.load(Ordering::Relaxed)
+    }
+
     /// Resets every counter to zero.
     pub fn reset(&self) {
         self.inner.sent.store(0, Ordering::Relaxed);
         self.inner.delivered.store(0, Ordering::Relaxed);
         self.inner.dropped.store(0, Ordering::Relaxed);
+        self.inner.enqueued.store(0, Ordering::Relaxed);
+        self.inner.wakeups.store(0, Ordering::Relaxed);
     }
 }
 

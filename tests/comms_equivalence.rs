@@ -1,0 +1,187 @@
+//! Mailbox-engine equivalence battery (DESIGN.md §15): the sharded
+//! per-destination mailbox engine and the pre-§15 single-queue engine
+//! (kept behind `ClusterSpec::legacy_mailboxes` as an ablation) must be
+//! **bit-for-bit indistinguishable** under the deterministic scheduler —
+//! identical full `RunReport` digests, ledger heads and state digests —
+//! and observationally equivalent on the free-running threaded runner.
+//! The engines differ only in locking and wakeup topology; every fault
+//! draw, latency sample and `(due, seq)` delivery decision is shared
+//! code, so any divergence here is a scheduling bug, not noise.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use parblockchain::{
+    run_fixed, run_sim, ClusterSpec, ExecutionMode, RunReport, SimConfig, SystemKind,
+};
+use parblockchain_repro as _;
+
+fn comms_spec(
+    legacy: bool,
+    mode: ExecutionMode,
+    contention: f64,
+    depth: usize,
+) -> ClusterSpec {
+    let mut spec = ClusterSpec::new(SystemKind::Oxii);
+    // Count cuts: block boundaries must not depend on timing, mirroring
+    // `tests/mode_equivalence.rs`.
+    spec.block_cut = parblockchain_repro::types::BlockCutConfig {
+        max_txns: 25,
+        max_bytes: usize::MAX,
+        max_wait: Duration::from_secs(5),
+    };
+    spec.costs = parblockchain_repro::types::ExecutionCosts::per_tx(Duration::from_micros(50));
+    spec.topology.intra = Duration::from_micros(50);
+    spec.exec_pool = 4;
+    spec.exec_pipeline_depth = depth;
+    spec.workload.contention = contention;
+    spec.capture_state = true;
+    spec.execution_mode = mode;
+    // Explicit, so the grid is immune to `PARBLOCK_LEGACY_MAILBOXES`.
+    spec.legacy_mailboxes = legacy;
+    spec
+}
+
+fn heads(report: &RunReport, label: &str) -> (parblock_types::Hash32, parblock_types::Hash32) {
+    (
+        report.ledger_head.unwrap_or_else(|| panic!("{label}: no ledger head")),
+        report.state_digest.unwrap_or_else(|| panic!("{label}: no state digest")),
+    )
+}
+
+/// The full grid under the deterministic scheduler: 3 execution modes ×
+/// contention {0, 0.9} × pipeline depth {1, 2}, each run on both mailbox
+/// engines, produce byte-identical full report digests (which cover
+/// ledger head, state digest, counts and speculation counters).
+#[test]
+fn engines_agree_across_modes_contention_and_depth_in_simulation() {
+    for mode in ExecutionMode::ALL {
+        for contention in [0.0, 0.9] {
+            for depth in [1usize, 2] {
+                let label = format!("mode {mode} contention {contention} depth {depth}");
+                let legacy =
+                    run_sim(&SimConfig::new(comms_spec(true, mode, contention, depth), 100, 2_000.0));
+                let sharded =
+                    run_sim(&SimConfig::new(comms_spec(false, mode, contention, depth), 100, 2_000.0));
+                assert!(legacy.completed, "{label} (legacy): {:?}", legacy.report);
+                assert!(sharded.completed, "{label} (sharded): {:?}", sharded.report);
+                assert_eq!(legacy.report.committed, 100, "{label}");
+                assert_eq!(
+                    legacy.report.digest(),
+                    sharded.report.digest(),
+                    "{label}: mailbox engines diverged\nlegacy:  {:?}\nsharded: {:?}",
+                    legacy.report,
+                    sharded.report
+                );
+                assert_eq!(
+                    heads(&legacy.report, &label),
+                    heads(&sharded.report, &label),
+                    "{label}"
+                );
+            }
+        }
+    }
+}
+
+/// Cross-application traffic (mid-block COMMIT multicasts between agent
+/// groups, τ(A) = 2 voting) exercises the multicast fan-out path — the
+/// one the Arc-shared payload rewrite touches hardest.
+#[test]
+fn cross_app_quorum_traffic_is_engine_invariant() {
+    for mode in ExecutionMode::ALL {
+        let mk = |legacy: bool| {
+            let mut spec = comms_spec(legacy, mode, 0.8, 2);
+            spec.workload.cross_app = true;
+            spec.executors_per_app = 2;
+            run_sim(&SimConfig::new(spec, 100, 2_000.0))
+        };
+        let legacy = mk(true);
+        let sharded = mk(false);
+        assert!(legacy.completed && sharded.completed, "mode {mode}");
+        assert_eq!(legacy.report.committed, 100, "mode {mode}");
+        assert_eq!(
+            legacy.report.digest(),
+            sharded.report.digest(),
+            "mode {mode} diverged under cross-app τ=2"
+        );
+    }
+}
+
+/// Fault injection (a crashed executor with a redundant agent set) goes
+/// through the engines' drop bookkeeping; the surviving agents must
+/// commit the same chain on both.
+#[test]
+fn engines_agree_under_a_crashed_executor() {
+    let mk = |legacy: bool| {
+        let mut spec = comms_spec(legacy, ExecutionMode::Pessimistic, 0.5, 2);
+        spec.executors_per_app = 2;
+        spec.commit_quorum = Some(1);
+        run_sim(&SimConfig::new(spec, 100, 2_000.0))
+    };
+    let legacy = mk(true);
+    let sharded = mk(false);
+    assert!(legacy.completed && sharded.completed);
+    assert_eq!(legacy.report.digest(), sharded.report.digest());
+}
+
+/// On the free-running threaded runner delivery timing is genuinely
+/// nondeterministic, but everything a client can observe — committed
+/// chain and final state — must still match across engines.
+#[test]
+fn engines_agree_on_the_threaded_runner() {
+    let legacy = run_fixed(
+        &comms_spec(true, ExecutionMode::Pessimistic, 0.9, 2),
+        200,
+        2_000.0,
+        Duration::from_secs(30),
+    );
+    let sharded = run_fixed(
+        &comms_spec(false, ExecutionMode::Pessimistic, 0.9, 2),
+        200,
+        2_000.0,
+        Duration::from_secs(30),
+    );
+    assert_eq!(legacy.committed, 200, "{legacy:?}");
+    assert_eq!(sharded.committed, 200, "{sharded:?}");
+    assert_eq!(
+        heads(&legacy, "legacy threaded"),
+        heads(&sharded, "sharded threaded"),
+        "mailbox engines diverged on the threaded runner"
+    );
+}
+
+proptest! {
+    // Each case runs two full simulations; keep the population small but
+    // fresh across runs (proptest persists failures as regressions).
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Seed-randomized equivalence: any workload seed, any sampled
+    /// contention/depth/mode, both mailbox engines produce identical
+    /// full report digests.
+    #[test]
+    fn any_seed_is_engine_invariant(
+        seed in 0u64..1_000,
+        contention_idx in 0usize..3,
+        depth in 1usize..3,
+        mode_idx in 0usize..3,
+    ) {
+        let contention = [0.0, 0.5, 0.9][contention_idx];
+        let mode = ExecutionMode::ALL[mode_idx];
+        let mk = |legacy: bool| {
+            let mut spec = comms_spec(legacy, mode, contention, depth);
+            spec.seed = seed;
+            run_sim(&SimConfig::new(spec, 75, 2_000.0))
+        };
+        let legacy = mk(true);
+        let sharded = mk(false);
+        prop_assert!(legacy.completed, "legacy seed {}", seed);
+        prop_assert!(sharded.completed, "sharded seed {}", seed);
+        prop_assert_eq!(
+            legacy.report.digest(),
+            sharded.report.digest(),
+            "engines diverged at seed {} mode {} contention {} depth {}",
+            seed, mode, contention, depth
+        );
+    }
+}
